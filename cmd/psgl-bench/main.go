@@ -1,0 +1,33 @@
+// Command psgl-bench regenerates the tables and figures of the paper's
+// evaluation (Section 7) on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	psgl-bench <experiment>
+//
+// where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
+// table2, fig7, table3, table4, fig8, or all.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"psgl/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: psgl-bench <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|all>")
+		os.Exit(2)
+	}
+	fn, err := experiments.ByName(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	fmt.Print(fn())
+	fmt.Printf("(experiment %s completed in %s)\n", os.Args[1], time.Since(start).Round(time.Millisecond))
+}

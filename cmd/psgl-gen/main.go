@@ -1,0 +1,68 @@
+// Command psgl-gen writes a synthetic graph as an edge list, either from a
+// generator spec or as one of the named dataset analogues of Table 1.
+//
+// Usage:
+//
+//	psgl-gen -gen "chunglu:100000:500000:1.8" -seed 7 > graph.txt
+//	psgl-gen -dataset wikitalk > wikitalk.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"psgl"
+	"psgl/internal/datasets"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgl-gen: ")
+	var (
+		genSpec = flag.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
+		dataset = flag.String("dataset", "", fmt.Sprintf("named dataset analogue: %v", datasets.Names()))
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *psgl.Graph
+	switch {
+	case *genSpec != "" && *dataset != "":
+		log.Fatal("pass either -gen or -dataset, not both")
+	case *dataset != "":
+		var err error
+		g, err = datasets.Load(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *genSpec != "":
+		var err error
+		g, err = psgl.GenerateFromSpec(*genSpec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("one of -gen or -dataset is required")
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := psgl.SaveEdgeList(w, g); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+}

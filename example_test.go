@@ -1,0 +1,71 @@
+package psgl_test
+
+import (
+	"fmt"
+	"strings"
+
+	"psgl"
+)
+
+// figure1 is the data graph of Figure 1 in the paper (1..6 -> 0..5).
+func figure1() *psgl.Graph {
+	return psgl.GraphFromEdges(6, [][2]psgl.VertexID{
+		{0, 1}, {0, 4}, {0, 5}, {1, 2}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+// The paper's running example: the square pattern occurs exactly three times
+// in the Figure 1 data graph (vertex sets 1235, 1256, 2345).
+func ExampleCount() {
+	n, err := psgl.Count(figure1(), psgl.Square(), psgl.NewOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 3
+}
+
+func ExampleList() {
+	opts := psgl.NewOptions()
+	opts.Collect = true
+	res, err := psgl.List(figure1(), psgl.Triangle(), opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangles:", res.Count)
+	// Output: triangles: 4
+}
+
+func ExampleNewPattern() {
+	// A custom 4-vertex pattern: the paw (triangle plus a pendant edge).
+	// Symmetry breaking is automatic, so each occurrence counts once.
+	paw, err := psgl.NewPattern("paw", 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		panic(err)
+	}
+	n, err := psgl.Count(figure1(), paw, psgl.NewOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 18
+}
+
+func ExampleLoadEdgeList() {
+	input := "# a 3-cycle\n10 20\n20 30\n30 10\n"
+	g, err := psgl.LoadEdgeList(strings.NewReader(input))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(psgl.CountTriangles(g))
+	// Output: 1
+}
+
+func ExamplePatternByName() {
+	p, err := psgl.PatternByName("clique4")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name(), p.N(), p.NumEdges())
+	// Output: clique4 4 6
+}

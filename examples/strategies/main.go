@@ -1,0 +1,58 @@
+// Strategies: a miniature of the paper's Figures 3 and 5 — compare the
+// partial-subgraph-instance distribution strategies on a skewed graph and
+// watch the workload-aware rule (α = 0.5) balance the workers.
+//
+// Run with: go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psgl"
+)
+
+func main() {
+	// A heavily skewed graph: the regime where strategy choice matters.
+	g := psgl.GenerateChungLu(20_000, 50_000, 1.2, 3)
+	fmt.Printf("data graph: %d vertices, %d edges, max degree %d (heavily skewed)\n\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	configs := []struct {
+		name     string
+		strategy psgl.Strategy
+		alpha    float64
+	}{
+		{"Random", psgl.StrategyRandom, 0},
+		{"Roulette", psgl.StrategyRoulette, 0},
+		{"WA alpha=1.0", psgl.StrategyWorkloadAware, 1},
+		{"WA alpha~0", psgl.StrategyWorkloadAware, 0.001},
+		{"WA alpha=0.5", psgl.StrategyWorkloadAware, 0.5},
+	}
+
+	fmt.Printf("%-14s %14s %14s %12s %10s\n",
+		"strategy", "load makespan", "max worker", "mean worker", "imbalance")
+	for _, cfg := range configs {
+		opts := psgl.NewOptions()
+		opts.Workers = 32
+		opts.Strategy = cfg.strategy
+		opts.Alpha = cfg.alpha
+		res, err := psgl.List(g, psgl.Square(), opts)
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		var max, sum float64
+		for _, l := range res.Stats.LoadUnits {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		mean := sum / float64(len(res.Stats.LoadUnits))
+		fmt.Printf("%-14s %14.0f %14.0f %12.0f %9.2fx\n",
+			cfg.name, res.Stats.LoadMakespan, max, mean, max/mean)
+	}
+	fmt.Println("\nload makespan = Σ over supersteps of the slowest worker's load (Equation 3).")
+	fmt.Println("On skewed graphs the workload-aware rule should clearly beat Random;")
+	fmt.Println("alpha=0.5 trades off the balance-first (alpha=1) and greedy (alpha~0) extremes.")
+}

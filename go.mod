@@ -1,0 +1,3 @@
+module psgl
+
+go 1.22

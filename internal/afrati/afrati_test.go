@@ -1,0 +1,160 @@
+package afrati
+
+import (
+	"errors"
+	"testing"
+
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/mr"
+	"psgl/internal/pattern"
+)
+
+func TestMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gen.ErdosRenyi(120, 700, seed)
+		for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4()} {
+			want := centralized.CountInstances(p, g)
+			res, err := Run(g, p, Options{Buckets: 4, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", p.Name(), seed, err)
+			}
+			if res.Count != want {
+				t.Errorf("%s seed=%d: afrati=%d oracle=%d", p.Name(), seed, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestMatchesOracleSkewedGraph(t *testing.T) {
+	g := gen.ChungLu(400, 1600, 1.7, 2)
+	for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2()} {
+		want := centralized.CountInstances(p, g)
+		res, err := Run(g, p, Options{Buckets: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: afrati=%d oracle=%d", p.Name(), res.Count, want)
+		}
+	}
+}
+
+func TestBucketCountInvariance(t *testing.T) {
+	g := gen.ErdosRenyi(150, 900, 7)
+	want := centralized.CountInstances(pattern.PG1(), g)
+	for _, b := range []int{2, 3, 6, 9} {
+		res, err := Run(g, pattern.PG1(), Options{Buckets: b})
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if res.Count != want {
+			t.Errorf("b=%d: count=%d want=%d", b, res.Count, want)
+		}
+	}
+}
+
+func TestReplicationGrowsWithBuckets(t *testing.T) {
+	// The defining cost of the one-round join: each edge is shipped to
+	// C(b+k-3, k-2) reducers, so replication grows with b for k >= 3.
+	g := gen.ErdosRenyi(100, 500, 1)
+	small, err := Run(g, pattern.PG2(), Options{Buckets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(g, pattern.PG2(), Options{Buckets: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Stats.ReplicatedEdges <= small.Stats.ReplicatedEdges {
+		t.Errorf("replication did not grow: b=3 -> %d, b=7 -> %d",
+			small.Stats.ReplicatedEdges, big.Stats.ReplicatedEdges)
+	}
+	// For PG2 (k=4), every edge is replicated C(b+1, 2) times exactly.
+	wantRate := float64((3 + 1) * 3 / 2)
+	if small.Stats.ReplicationRate != wantRate {
+		t.Errorf("b=3 replication rate = %.1f, want %.1f", small.Stats.ReplicationRate, wantRate)
+	}
+}
+
+func TestSkewHigherOnPowerLawGraph(t *testing.T) {
+	// "The curse of the last reducer": hub buckets concentrate edge copies.
+	er := gen.ErdosRenyi(2000, 10000, 3)
+	pl := gen.ChungLu(2000, 10000, 1.5, 3)
+	resER, err := Run(er, pattern.PG1(), Options{Buckets: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPL, err := Run(pl, pattern.PG1(), Options{Buckets: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reducer skew: ER=%.2f powerlaw=%.2f", resER.Stats.Skew, resPL.Stats.Skew)
+	if resPL.Stats.Skew <= resER.Stats.Skew {
+		t.Errorf("power-law graph should skew reducers more: ER=%.2f PL=%.2f",
+			resER.Stats.Skew, resPL.Stats.Skew)
+	}
+}
+
+func TestShuffleBudgetOOM(t *testing.T) {
+	g := gen.ErdosRenyi(500, 3000, 5)
+	_, err := Run(g, pattern.PG4(), Options{Buckets: 8, MaxShufflePairs: 1000})
+	if !errors.Is(err, mr.ErrShuffleBudget) {
+		t.Fatalf("err = %v, want ErrShuffleBudget", err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	if _, err := Run(nil, pattern.PG1(), Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(g, nil, Options{}); err == nil {
+		t.Error("nil pattern accepted")
+	}
+	if _, err := Run(g, pattern.MustNew("v", 1, nil), Options{}); err == nil {
+		t.Error("single-vertex pattern accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(10).Build()
+	res, err := Run(g, pattern.PG1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Fatalf("count on edgeless graph = %d", res.Count)
+	}
+}
+
+func TestMultisetEnumeration(t *testing.T) {
+	// C(b+k-1, k) multisets: b=4, k=3 -> C(6,3) = 20.
+	ms := enumerateMultisets(4, 3)
+	if len(ms) != 20 {
+		t.Fatalf("got %d multisets, want 20", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		for i := 1; i < len(m); i++ {
+			if m[i-1] > m[i] {
+				t.Fatalf("multiset %v not sorted", m)
+			}
+		}
+		if seen[msKey(m)] {
+			t.Fatalf("duplicate multiset %v", m)
+		}
+		seen[msKey(m)] = true
+	}
+}
+
+func BenchmarkAfratiTriangle(b *testing.B) {
+	g := gen.ChungLu(3000, 15000, 1.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, pattern.PG1(), Options{Buckets: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

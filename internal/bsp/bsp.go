@@ -1,0 +1,270 @@
+// Package bsp is a hand-rolled Bulk Synchronous Parallel engine in the style
+// of Pregel/Giraph, the substrate the paper implements PSgL on (Section 6).
+// K workers each own a random partition of the data vertices; computation
+// proceeds in supersteps separated by barriers; all communication is message
+// passing addressed to data vertices, routed to the owning worker.
+//
+// Two message exchanges are provided: the default in-process exchange, and a
+// TCP exchange (tcp.go) that round-trips every inter-worker batch through
+// gob encoding and the loopback network stack, for distributed-execution
+// realism on a single machine.
+//
+// The engine records the metrics the paper's cost model is built on
+// (Equation 3): per-superstep, per-worker compute time and message counts,
+// from which a simulated makespan Σ_s max_k L_ks is derived. That simulated
+// makespan is what the scalability experiment (Figure 8) reports, so worker
+// counts larger than the physical core count behave like real workers.
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/graph"
+)
+
+// Envelope is one message addressed to a data vertex.
+type Envelope[M any] struct {
+	Dest graph.VertexID
+	Msg  M
+}
+
+// Program is the worker-centric computation the engine runs. Init runs once
+// per worker in superstep 0 and seeds the first messages (PSgL's
+// initialization phase). Process handles one delivered message in every later
+// superstep (PSgL's expansion phase). Both may send new messages through the
+// Context. Implementations must be safe for concurrent execution across
+// workers; the engine never calls the same worker concurrently.
+type Program[M any] interface {
+	Init(ctx *Context[M])
+	Process(ctx *Context[M], env Envelope[M])
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Workers is the number of BSP workers K (>= 1).
+	Workers int
+	// Owner maps a data vertex to the worker that owns it.
+	Owner func(graph.VertexID) int
+	// MaxSupersteps aborts runaway computations. 0 means 1 << 20.
+	MaxSupersteps int
+	// Exchange overrides the in-process message exchange (e.g. NewTCPExchange).
+	// Nil uses the in-process exchange.
+	Exchange ExchangeFactory
+}
+
+// ErrAborted wraps the error passed to Context.Abort.
+var ErrAborted = errors.New("bsp: computation aborted")
+
+// Context is the per-worker, per-superstep API surface available to a
+// Program. It is not safe to retain across supersteps.
+type Context[M any] struct {
+	worker  int
+	step    int
+	cfg     *Config
+	out     [][]Envelope[M] // out[w] = messages destined to worker w
+	sent    int64
+	local   map[string]int64
+	aborted *atomic.Pointer[error]
+}
+
+// Worker returns this worker's id in [0, Workers).
+func (c *Context[M]) Worker() int { return c.worker }
+
+// Step returns the current superstep (0 = initialization).
+func (c *Context[M]) Step() int { return c.step }
+
+// Send routes msg to the worker owning dest, for delivery next superstep.
+func (c *Context[M]) Send(dest graph.VertexID, msg M) {
+	w := c.cfg.Owner(dest)
+	c.out[w] = append(c.out[w], Envelope[M]{Dest: dest, Msg: msg})
+	c.sent++
+}
+
+// AddCounter accumulates a named global counter; counters from all workers
+// are merged at each barrier and reported in RunStats.
+func (c *Context[M]) AddCounter(name string, delta int64) {
+	c.local[name] += delta
+}
+
+// Abort stops the computation after the current superstep. The first error
+// wins; Run returns it wrapped in ErrAborted.
+func (c *Context[M]) Abort(err error) {
+	if err == nil {
+		err = errors.New("abort with nil error")
+	}
+	c.aborted.CompareAndSwap(nil, &err)
+}
+
+// RunStats reports what happened during a run.
+type RunStats struct {
+	Supersteps      int
+	MessagesTotal   int64
+	PerStepMessages []int64
+	// WorkerTime[w] is worker w's total compute time across all supersteps
+	// (Figure 5 reports exactly this per-worker series).
+	WorkerTime []time.Duration
+	// WorkerMessages[w] counts messages processed by worker w.
+	WorkerMessages []int64
+	// PerStepWorkerTime[s][w] is worker w's compute time in superstep s.
+	PerStepWorkerTime [][]time.Duration
+	Counters          map[string]int64
+}
+
+// SimulatedMakespan is the cost model of Equation 3: the sum over supersteps
+// of the slowest worker's compute time. It is the engine's runtime metric
+// when the worker count exceeds the physical core count.
+func (s *RunStats) SimulatedMakespan() time.Duration {
+	var total time.Duration
+	for _, stepTimes := range s.PerStepWorkerTime {
+		var max time.Duration
+		for _, t := range stepTimes {
+			if t > max {
+				max = t
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// Run executes prog to completion: superstep 0 calls Init on every worker;
+// each later superstep delivers the previous step's messages; the run ends
+// when a superstep produces no messages, or when a worker aborts.
+func Run[M any](cfg Config, prog Program[M]) (*RunStats, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("bsp: need >= 1 worker, have %d", cfg.Workers)
+	}
+	if cfg.Owner == nil {
+		return nil, fmt.Errorf("bsp: Owner function is required")
+	}
+	maxSteps := cfg.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	var exchange Exchange[M]
+	if cfg.Exchange != nil {
+		ex, err := newExchangeFromFactory[M](cfg.Exchange, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		exchange = ex
+	} else {
+		exchange = localExchange[M]{}
+	}
+	defer exchange.Close()
+
+	k := cfg.Workers
+	stats := &RunStats{
+		WorkerTime:     make([]time.Duration, k),
+		WorkerMessages: make([]int64, k),
+		Counters:       map[string]int64{},
+	}
+	var abortPtr atomic.Pointer[error]
+	inboxes := make([][]Envelope[M], k)
+
+	runStep := func(step int) (outAll [][][]Envelope[M], produced int64) {
+		outAll = make([][][]Envelope[M], k)
+		stepTimes := make([]time.Duration, k)
+		counterSets := make([]map[string]int64, k)
+		var wg sync.WaitGroup
+		var producedAtomic atomic.Int64
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := &Context[M]{
+					worker:  w,
+					step:    step,
+					cfg:     &cfg,
+					out:     make([][]Envelope[M], k),
+					local:   map[string]int64{},
+					aborted: &abortPtr,
+				}
+				start := time.Now()
+				if step == 0 {
+					prog.Init(ctx)
+				} else {
+					for _, env := range inboxes[w] {
+						prog.Process(ctx, env)
+					}
+				}
+				stepTimes[w] = time.Since(start)
+				outAll[w] = ctx.out
+				counterSets[w] = ctx.local
+				producedAtomic.Add(ctx.sent)
+				stats.WorkerMessages[w] += int64(len(inboxes[w]))
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < k; w++ {
+			stats.WorkerTime[w] += stepTimes[w]
+			for name, v := range counterSets[w] {
+				stats.Counters[name] += v
+			}
+		}
+		stats.PerStepWorkerTime = append(stats.PerStepWorkerTime, stepTimes)
+		return outAll, producedAtomic.Load()
+	}
+
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			return stats, fmt.Errorf("bsp: exceeded %d supersteps", maxSteps)
+		}
+		outAll, produced := runStep(step)
+		stats.Supersteps = step + 1
+		stats.PerStepMessages = append(stats.PerStepMessages, produced)
+		stats.MessagesTotal += produced
+		if errp := abortPtr.Load(); errp != nil {
+			return stats, fmt.Errorf("%w: %v", ErrAborted, *errp)
+		}
+		if produced == 0 {
+			return stats, nil
+		}
+		next, err := exchange.Exchange(step, outAll)
+		if err != nil {
+			return stats, fmt.Errorf("bsp: exchange failed at step %d: %w", step, err)
+		}
+		inboxes = next
+	}
+}
+
+// Exchange moves each superstep's outgoing buffers to the destination
+// workers' inboxes. outAll[src][dst] holds src's messages for dst; the result
+// res[dst] is the concatenation over all sources.
+type Exchange[M any] interface {
+	Exchange(step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error)
+	Close() error
+}
+
+// ExchangeFactory builds an exchange for a given worker count without
+// exposing the message type parameter in Config. Implementations are
+// provided by this package (NewTCPExchangeFactory); the zero value of
+// Config uses the in-process exchange.
+type ExchangeFactory interface {
+	kind() string
+}
+
+type localExchange[M any] struct{}
+
+func (localExchange[M]) Exchange(_ int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+	k := len(outAll)
+	res := make([][]Envelope[M], k)
+	for dst := 0; dst < k; dst++ {
+		total := 0
+		for src := 0; src < k; src++ {
+			total += len(outAll[src][dst])
+		}
+		buf := make([]Envelope[M], 0, total)
+		for src := 0; src < k; src++ {
+			buf = append(buf, outAll[src][dst]...)
+		}
+		res[dst] = buf
+	}
+	return res, nil
+}
+
+func (localExchange[M]) Close() error { return nil }

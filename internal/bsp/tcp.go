@@ -1,0 +1,191 @@
+package bsp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// NewTCPExchangeFactory returns an ExchangeFactory that routes every
+// inter-worker message batch through real loopback TCP connections with gob
+// encoding — the closest single-machine analogue of the cluster deployment
+// the paper ran on. Messages between a worker and itself skip the network,
+// mirroring how Giraph delivers local messages in memory.
+//
+// The message type M must be gob-encodable (exported fields).
+func NewTCPExchangeFactory() ExchangeFactory { return tcpFactory{} }
+
+type tcpFactory struct{}
+
+func (tcpFactory) kind() string { return "tcp" }
+
+func newExchangeFromFactory[M any](f ExchangeFactory, workers int) (Exchange[M], error) {
+	switch f.(type) {
+	case tcpFactory:
+		return newTCPExchange[M](workers)
+	default:
+		return nil, fmt.Errorf("bsp: unknown exchange factory %q", f.kind())
+	}
+}
+
+// frame is the wire unit: one superstep's batch from one worker to another.
+type frame[M any] struct {
+	Step  int
+	Batch []Envelope[M]
+}
+
+type tcpExchange[M any] struct {
+	workers  int
+	listener net.Listener
+	// enc[src][dst] / dec[dst][src] wrap the K×K mesh (nil on the diagonal).
+	enc   [][]*gob.Encoder
+	dec   [][]*gob.Decoder
+	conns []net.Conn
+}
+
+func newTCPExchange[M any](workers int) (Exchange[M], error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
+	}
+	ex := &tcpExchange[M]{workers: workers, listener: ln}
+	ex.enc = make([][]*gob.Encoder, workers)
+	ex.dec = make([][]*gob.Decoder, workers)
+	for i := 0; i < workers; i++ {
+		ex.enc[i] = make([]*gob.Encoder, workers)
+		ex.dec[i] = make([]*gob.Decoder, workers)
+	}
+
+	type handshake struct{ Src, Dst int }
+	nPairs := workers*workers - workers
+	errs := make(chan error, 2*nPairs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+
+	// Server side: accept one connection per ordered pair, identify it by
+	// the handshake, and keep its decoder on the destination side.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nPairs; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var hs handshake
+			if err := dec.Decode(&hs); err != nil {
+				errs <- fmt.Errorf("handshake decode: %w", err)
+				return
+			}
+			mu.Lock()
+			ex.dec[hs.Dst][hs.Src] = dec
+			ex.conns = append(ex.conns, conn)
+			mu.Unlock()
+		}
+	}()
+
+	// Client side: dial one connection per ordered (src, dst) pair.
+	addr := ln.Addr().String()
+	for src := 0; src < workers; src++ {
+		for dst := 0; dst < workers; dst++ {
+			if src == dst {
+				continue
+			}
+			wg.Add(1)
+			go func(src, dst int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				enc := gob.NewEncoder(conn)
+				if err := enc.Encode(handshake{Src: src, Dst: dst}); err != nil {
+					errs <- fmt.Errorf("handshake encode: %w", err)
+					return
+				}
+				mu.Lock()
+				ex.enc[src][dst] = enc
+				ex.conns = append(ex.conns, conn)
+				mu.Unlock()
+			}(src, dst)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		ex.Close()
+		return nil, fmt.Errorf("bsp: tcp exchange setup: %w", err)
+	default:
+	}
+	return ex, nil
+}
+
+func (ex *tcpExchange[M]) Exchange(step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+	k := ex.workers
+	res := make([][]Envelope[M], k)
+	errs := make(chan error, 2*k)
+	var wg sync.WaitGroup
+
+	// Senders: each worker writes its K-1 remote batches.
+	for src := 0; src < k; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < k; dst++ {
+				if dst == src {
+					continue
+				}
+				if err := ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: outAll[src][dst]}); err != nil {
+					errs <- fmt.Errorf("send %d->%d: %w", src, dst, err)
+					return
+				}
+			}
+		}(src)
+	}
+	// Receivers: each worker reads K-1 remote batches and merges its own
+	// local batch directly.
+	for dst := 0; dst < k; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			buf := append([]Envelope[M](nil), outAll[dst][dst]...)
+			for src := 0; src < k; src++ {
+				if src == dst {
+					continue
+				}
+				var fr frame[M]
+				if err := ex.dec[dst][src].Decode(&fr); err != nil {
+					errs <- fmt.Errorf("recv %d<-%d: %w", dst, src, err)
+					return
+				}
+				if fr.Step != step {
+					errs <- fmt.Errorf("recv %d<-%d: step skew %d != %d", dst, src, fr.Step, step)
+					return
+				}
+				buf = append(buf, fr.Batch...)
+			}
+			res[dst] = buf
+		}(dst)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+func (ex *tcpExchange[M]) Close() error {
+	for _, c := range ex.conns {
+		c.Close()
+	}
+	if ex.listener != nil {
+		return ex.listener.Close()
+	}
+	return nil
+}

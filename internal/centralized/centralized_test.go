@@ -1,0 +1,172 @@
+package centralized
+
+import (
+	"math/rand"
+	"testing"
+
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+)
+
+// figure1Graph is the data graph of Figure 1 (vertices 1..6 -> 0..5).
+func figure1Graph() *graph.Graph {
+	return graph.FromEdges(6, [][2]graph.VertexID{
+		{0, 1}, {0, 4}, {0, 5}, {1, 2}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+func TestSquareOnFigure1(t *testing.T) {
+	// The paper lists exactly the squares 1235, 1256, 2345 in Figure 1.
+	g := figure1Graph()
+	if got := CountInstances(pattern.Square(), g); got != 3 {
+		t.Fatalf("squares = %d, want 3", got)
+	}
+}
+
+func TestSquareInstancesOnFigure1(t *testing.T) {
+	g := figure1Graph()
+	var found [][]graph.VertexID
+	ListInstances(pattern.Square(), g, func(m []graph.VertexID) bool {
+		found = append(found, append([]graph.VertexID(nil), m...))
+		return true
+	})
+	if len(found) != 3 {
+		t.Fatalf("found %d squares, want 3", len(found))
+	}
+	for _, m := range found {
+		// Each instance must be a real 4-cycle under the pattern's edges.
+		p := pattern.Square()
+		for _, e := range p.Edges() {
+			if !g.HasEdge(m[e[0]], m[e[1]]) {
+				t.Fatalf("reported instance %v missing edge %v", m, e)
+			}
+		}
+	}
+}
+
+func TestTrianglesKnownGraphs(t *testing.T) {
+	// K4 has 4 triangles; C5 has none; K5 has 10.
+	k4 := graph.FromEdges(4, [][2]graph.VertexID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := CountTriangles(k4); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+	c5 := graph.FromEdges(5, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if got := CountTriangles(c5); got != 0 {
+		t.Errorf("C5 triangles = %d, want 0", got)
+	}
+	var k5e [][2]graph.VertexID
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			k5e = append(k5e, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(j)})
+		}
+	}
+	k5 := graph.FromEdges(5, k5e)
+	if got := CountTriangles(k5); got != 10 {
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+}
+
+func TestTriangleListerMatchesGenericEnumerator(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.ErdosRenyi(300, 2500, seed)
+		fast := CountTriangles(g)
+		slow := CountInstances(pattern.Triangle(), g)
+		if fast != slow {
+			t.Fatalf("seed=%d: CountTriangles=%d, enumerator=%d", seed, fast, slow)
+		}
+	}
+}
+
+func TestCliquesOnCompleteGraph(t *testing.T) {
+	// K6 contains C(6,k) k-cliques.
+	var edges [][2]graph.VertexID
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(j)})
+		}
+	}
+	k6 := graph.FromEdges(6, edges)
+	wants := map[int]int64{3: 20, 4: 15, 5: 6}
+	for k, want := range wants {
+		if got := CountInstances(pattern.Clique(k), k6); got != want {
+			t.Errorf("K6 %d-cliques = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCyclesOnCycleGraph(t *testing.T) {
+	// C6 contains exactly one 6-cycle, no 4-cycles, no 5-cycles.
+	c6 := graph.FromEdges(6, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if got := CountInstances(pattern.Cycle(6), c6); got != 1 {
+		t.Errorf("C6 6-cycles = %d, want 1", got)
+	}
+	if got := CountInstances(pattern.Cycle(4), c6); got != 0 {
+		t.Errorf("C6 4-cycles = %d, want 0", got)
+	}
+	if got := CountInstances(pattern.Cycle(5), c6); got != 0 {
+		t.Errorf("C6 5-cycles = %d, want 0", got)
+	}
+}
+
+func TestEmbeddingCountIsAutTimesInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		b := graph.NewBuilder(12)
+		for i := 0; i < 30; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(12)), graph.VertexID(rng.Intn(12)))
+		}
+		g := b.Build()
+		for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5()} {
+			inst := CountInstances(p, g)
+			raw := EmbeddingCount(p, g)
+			if raw != inst*int64(p.NumAutomorphisms()) {
+				t.Errorf("%s trial=%d: raw=%d inst=%d aut=%d", p.Name(), trial, raw, inst, p.NumAutomorphisms())
+			}
+		}
+	}
+}
+
+func TestListInstancesEarlyStop(t *testing.T) {
+	g := gen.ErdosRenyi(100, 800, 1)
+	visits := 0
+	ListInstances(pattern.Triangle(), g, func([]graph.VertexID) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("early stop after %d visits, want 5", visits)
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	p := pattern.MustNew("v", 1, nil)
+	g := gen.ErdosRenyi(50, 100, 1)
+	if got := CountInstances(p, g); got != 50 {
+		t.Fatalf("single-vertex instances = %d, want |V|=50", got)
+	}
+}
+
+func TestEdgePattern(t *testing.T) {
+	g := figure1Graph()
+	// Edge pattern instances = |E| exactly once each.
+	if got := CountInstances(pattern.Clique(2), g); got != g.NumEdges() {
+		t.Fatalf("edge instances = %d, want %d", got, g.NumEdges())
+	}
+}
+
+func BenchmarkCountTriangles(b *testing.B) {
+	g := gen.ChungLu(20000, 100000, 2.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountTriangles(g)
+	}
+}
+
+func BenchmarkGenericTriangleEnumeration(b *testing.B) {
+	g := gen.ErdosRenyi(2000, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountInstances(pattern.Triangle(), g)
+	}
+}

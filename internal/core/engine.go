@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/bloom"
+	"psgl/internal/bsp"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+	"psgl/internal/stats"
+)
+
+// Run lists all instances of p in g with the PSgL engine and returns the
+// count (and instances when opts.Collect is set) together with run metrics.
+//
+// Unless opts.DisableAutomorphismBreaking is set, the pattern's automorphisms
+// are broken first, so every instance is found exactly once regardless of how
+// p was constructed.
+func Run(g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("psgl: nil graph or pattern")
+	}
+	if p.N() > 16 {
+		return nil, fmt.Errorf("psgl: pattern has %d vertices; engine supports up to 16", p.N())
+	}
+	opts = opts.normalized()
+	if (opts.DataLabels != nil) != p.Labeled() {
+		return nil, fmt.Errorf("psgl: labeled matching needs labels on both the pattern and the data graph")
+	}
+	if opts.DataLabels != nil && len(opts.DataLabels) != g.NumVertices() {
+		return nil, fmt.Errorf("psgl: %d data labels for %d vertices", len(opts.DataLabels), g.NumVertices())
+	}
+
+	if opts.DisableAutomorphismBreaking {
+		stripped, err := pattern.New(p.Name(), p.N(), p.Edges()) // strip any orders
+		if err != nil {
+			return nil, fmt.Errorf("psgl: %v", err)
+		}
+		if p.Labeled() {
+			labels := make([]int, p.N())
+			for v := range labels {
+				labels[v] = p.Label(v)
+			}
+			stripped, err = stripped.WithLabels(labels)
+			if err != nil {
+				return nil, fmt.Errorf("psgl: %v", err)
+			}
+		}
+		p = stripped
+	} else {
+		p = p.BreakAutomorphisms()
+	}
+
+	e, err := newEngine(g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := bsp.Config{
+		Workers:       opts.Workers,
+		Owner:         func(v graph.VertexID) int { return e.part.Owner(v) },
+		MaxSupersteps: opts.MaxSupersteps,
+		Exchange:      opts.Exchange,
+	}
+	start := time.Now()
+	runStats, err := bsp.Run[gpsi](cfg, e)
+	wall := time.Since(start)
+	if err != nil {
+		if oom := e.oomErr.Load(); oom != nil {
+			return e.buildResult(runStats, wall), ErrOutOfMemory
+		}
+		return nil, err
+	}
+	return e.buildResult(runStats, wall), nil
+}
+
+// engine implements bsp.Program[gpsi].
+type engine struct {
+	g    *graph.Graph
+	ord  *graph.Ordered
+	p    *pattern.Pattern
+	opts Options
+	part graph.Partition
+	ix   *bloom.EdgeIndex
+	// bitmap accelerates exact edge verification against hub vertices
+	// (Section 5.1.1: "costg ... can be done efficiently by a bitmap index").
+	bitmap *graph.BitmapIndex
+
+	initial int
+	// edgeID[a][b] numbers the pattern edges for the Pending bitmask.
+	edgeID [][]int
+
+	// Per-worker state; index w is touched only by worker w's goroutine
+	// (bsp guarantees one goroutine per worker per superstep, with barriers
+	// establishing happens-before between supersteps).
+	rngs   []*xorshift
+	wviews [][]float64 // workload-aware local views of all workers' loads
+	loads  []float64   // actual accumulated cost-model load units
+	// stepLoads[w][s] is worker w's load units in superstep s (grown only by
+	// worker w), the basis of the Equation 3 load makespan.
+	stepLoads [][]float64
+
+	generated atomic.Int64
+	oomErr    atomic.Pointer[error]
+
+	mu        sync.Mutex
+	instances [][]graph.VertexID
+}
+
+func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error) {
+	e := &engine{
+		g:    g,
+		ord:  graph.NewOrdered(g),
+		p:    p,
+		opts: opts,
+		part: graph.NewPartition(opts.Workers, opts.Seed),
+	}
+	if !opts.DisableEdgeIndex {
+		e.ix = bloom.BuildEdgeIndex(g, opts.BloomBitsPerEdge)
+	}
+	e.bitmap = graph.NewBitmapIndex(g, 0)
+	n := p.N()
+	e.edgeID = make([][]int, n)
+	for a := range e.edgeID {
+		e.edgeID[a] = make([]int, n)
+		for b := range e.edgeID[a] {
+			e.edgeID[a][b] = -1
+		}
+	}
+	for i, edge := range p.Edges() {
+		if i >= 32 {
+			return nil, fmt.Errorf("psgl: pattern has more than 32 edges")
+		}
+		e.edgeID[edge[0]][edge[1]] = i
+		e.edgeID[edge[1]][edge[0]] = i
+	}
+	switch {
+	case opts.InitialVertex >= p.N():
+		return nil, fmt.Errorf("psgl: initial vertex %d out of range [0,%d)", opts.InitialVertex, p.N())
+	case opts.InitialVertex >= 0:
+		e.initial = opts.InitialVertex
+	default:
+		e.initial = SelectInitialVertex(p, stats.FromHistogram(g.DegreeHistogram()))
+	}
+	e.rngs = make([]*xorshift, opts.Workers)
+	e.wviews = make([][]float64, opts.Workers)
+	e.loads = make([]float64, opts.Workers)
+	e.stepLoads = make([][]float64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		e.rngs[w] = newXorshift(uint64(opts.Seed)*0x9e3779b97f4a7c15 + uint64(w) + 1)
+		e.wviews[w] = make([]float64, opts.Workers)
+	}
+	return e, nil
+}
+
+// Init is the initialization phase: each data vertex that can host the
+// initial pattern vertex emits a one-pair Gpsi to itself.
+func (e *engine) Init(ctx *bsp.Context[gpsi]) {
+	w := ctx.Worker()
+	minDeg := e.p.Degree(e.initial)
+	for v := 0; v < e.g.NumVertices(); v++ {
+		vd := graph.VertexID(v)
+		if e.part.Owner(vd) != w {
+			continue
+		}
+		if e.g.Degree(vd) < minDeg {
+			ctx.AddCounter("pruned_degree", 1)
+			continue
+		}
+		if e.opts.DataLabels != nil && int(e.opts.DataLabels[vd]) != e.p.Label(e.initial) {
+			ctx.AddCounter("pruned_label", 1)
+			continue
+		}
+		m := gpsi{
+			Map:  make([]graph.VertexID, e.p.N()),
+			Next: int8(e.initial),
+		}
+		for i := range m.Map {
+			m.Map[i] = unmapped
+		}
+		m.Map[e.initial] = vd
+		e.send(ctx, m)
+	}
+}
+
+// Process expands one partial subgraph instance (Algorithm 1).
+func (e *engine) Process(ctx *bsp.Context[gpsi], env bsp.Envelope[gpsi]) {
+	e.expand(ctx, env.Msg)
+}
+
+func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
+	if e.oomErr.Load() != nil {
+		return
+	}
+	ctx.AddCounter("processed", 1)
+	vp := int(m.Next)
+	vd := m.Map[vp]
+	m.Expanded |= 1 << uint(vp)
+
+	// Verify pending edges incident to vp exactly against the local
+	// adjacency (the "verification" role of later iterations; for cliques
+	// this is all the later iterations do).
+	for _, u := range e.p.Neighbors(vp) {
+		if !m.isMapped(u) {
+			continue
+		}
+		eid := e.edgeID[vp][u]
+		if m.Pending&(1<<uint(eid)) == 0 {
+			continue
+		}
+		if !e.bitmap.HasEdge(vd, m.Map[u]) {
+			ctx.AddCounter("pruned_verify", 1)
+			return
+		}
+		m.Pending &^= 1 << uint(eid)
+	}
+
+	// Candidate sets for WHITE neighbors (Algorithm 5).
+	var whites []int
+	var cands [][]graph.VertexID
+	loadUnits := 1.0
+	for _, wv := range e.p.Neighbors(vp) {
+		if m.isMapped(wv) {
+			continue
+		}
+		cand := e.candidates(ctx, &m, vp, vd, wv)
+		if len(cand) == 0 {
+			return // dead end: this Gpsi leads to no instance
+		}
+		whites = append(whites, wv)
+		cands = append(cands, cand)
+		loadUnits *= float64(len(cand))
+	}
+	w := ctx.Worker()
+	e.loads[w] += loadUnits
+	for len(e.stepLoads[w]) <= ctx.Step() {
+		e.stepLoads[w] = append(e.stepLoads[w], 0)
+	}
+	e.stepLoads[w][ctx.Step()] += loadUnits
+
+	preMapped := uint16(0)
+	for u := 0; u < e.p.N(); u++ {
+		if m.isMapped(u) {
+			preMapped |= 1 << uint(u)
+		}
+	}
+	e.combine(ctx, &m, vp, preMapped, whites, cands, 0)
+}
+
+// candidates returns the admissible data vertices for WHITE pattern vertex wv
+// while expanding vp at vd, applying the degree filter, the partial-order
+// filter, injectivity, and the light-weight edge index against wv's
+// already-mapped neighbors (other than vp).
+func (e *engine) candidates(ctx *bsp.Context[gpsi], m *gpsi, vp int, vd graph.VertexID, wv int) []graph.VertexID {
+	var out []graph.VertexID
+	minDeg := e.p.Degree(wv)
+	for _, d := range e.g.Neighbors(vd) {
+		if e.g.Degree(d) < minDeg {
+			ctx.AddCounter("pruned_degree", 1)
+			continue
+		}
+		if e.opts.DataLabels != nil && int(e.opts.DataLabels[d]) != e.p.Label(wv) {
+			ctx.AddCounter("pruned_label", 1)
+			continue
+		}
+		if m.uses(d) {
+			ctx.AddCounter("pruned_injective", 1)
+			continue
+		}
+		ok := true
+		for u := 0; u < e.p.N() && ok; u++ {
+			if u == wv || !m.isMapped(u) {
+				continue
+			}
+			if e.p.MustPrecede(wv, u) && !e.ord.Less(d, m.Map[u]) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			} else if e.p.MustPrecede(u, wv) && !e.ord.Less(m.Map[u], d) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		if e.ix != nil {
+			for _, u := range e.p.Neighbors(wv) {
+				if u == vp || !m.isMapped(u) {
+					continue
+				}
+				ctx.AddCounter("index_queries", 1)
+				if !e.ix.MayHaveEdge(d, m.Map[u]) {
+					ctx.AddCounter("pruned_index", 1)
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// combine enumerates the cross product of the candidate sets, pruning
+// combinations that reuse a data vertex, violate the partial order between
+// two newly mapped vertices, or fail an edge-index check between two newly
+// mapped vertices. Surviving children are finalized.
+func (e *engine) combine(ctx *bsp.Context[gpsi], m *gpsi, vp int, preMapped uint16, whites []int, cands [][]graph.VertexID, i int) {
+	if e.oomErr.Load() != nil {
+		return
+	}
+	if i == len(whites) {
+		e.finalize(ctx, m)
+		return
+	}
+	wv := whites[i]
+	for _, d := range cands[i] {
+		if m.uses(d) {
+			ctx.AddCounter("pruned_injective", 1)
+			continue
+		}
+		// Checks against pattern vertices mapped earlier in this combine
+		// (candidate filtering could not see them).
+		ok := true
+		var newPending uint32
+		for j := 0; j < i && ok; j++ {
+			u := whites[j]
+			du := m.Map[u]
+			if e.p.MustPrecede(wv, u) && !e.ord.Less(d, du) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			} else if e.p.MustPrecede(u, wv) && !e.ord.Less(du, d) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			} else if e.p.HasEdge(wv, u) {
+				if e.ix != nil {
+					ctx.AddCounter("index_queries", 1)
+					if !e.ix.MayHaveEdge(d, du) {
+						ctx.AddCounter("pruned_index", 1)
+						ok = false
+						continue
+					}
+				}
+				newPending |= 1 << uint(e.edgeID[wv][u])
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Edges from wv to vertices mapped before this expansion, other than
+		// the expanding vertex itself, were only index-checked: mark pending.
+		for _, u := range e.p.Neighbors(wv) {
+			if u != vp && preMapped&(1<<uint(u)) != 0 {
+				newPending |= 1 << uint(e.edgeID[wv][u])
+			}
+		}
+		m.Map[wv] = d
+		m.Pending |= newPending
+		e.combine(ctx, m, vp, preMapped, whites, cands, i+1)
+		m.Pending &^= newPending
+		m.Map[wv] = unmapped
+	}
+}
+
+// finalize either emits a completed, fully verified instance or routes the
+// Gpsi to its next expanding vertex per the distribution strategy.
+func (e *engine) finalize(ctx *bsp.Context[gpsi], m *gpsi) {
+	if m.isComplete() && m.Pending == 0 {
+		ctx.AddCounter("results", 1)
+		if e.opts.OnInstance != nil {
+			e.opts.OnInstance(m.Map)
+		}
+		if e.opts.Collect {
+			e.mu.Lock()
+			e.instances = append(e.instances, append([]graph.VertexID(nil), m.Map...))
+			e.mu.Unlock()
+		}
+		return
+	}
+	grays := e.grayCandidates(m)
+	if len(grays) == 0 {
+		// Unreachable for connected patterns; guard against silent loss.
+		err := fmt.Errorf("psgl: stuck Gpsi with no GRAY vertex")
+		ctx.Abort(err)
+		return
+	}
+	next := e.chooseNext(ctx.Worker(), m, grays)
+	child := m.clone()
+	child.Next = int8(next)
+	if e.opts.LocalExpansion && e.part.Owner(child.Map[next]) == ctx.Worker() {
+		// Non-level-synchronous mode: the destination is local, so expand
+		// now instead of crossing a superstep barrier. Recursion depth is
+		// bounded by the pattern size (each inline step blackens a vertex).
+		ctx.AddCounter("generated", 1)
+		ctx.AddCounter("inline", 1)
+		if !e.chargeBudget(ctx) {
+			return
+		}
+		e.expand(ctx, child)
+		return
+	}
+	e.send(ctx, child)
+}
+
+// grayCandidates lists the GRAY vertices eligible as the next expansion
+// point. For a complete-but-unverified Gpsi only endpoints of pending edges
+// make progress on verification, so the choice narrows to them.
+func (e *engine) grayCandidates(m *gpsi) []int {
+	var grays []int
+	if m.isComplete() && m.Pending != 0 {
+		for _, edge := range e.p.Edges() {
+			eid := e.edgeID[edge[0]][edge[1]]
+			if m.Pending&(1<<uint(eid)) == 0 {
+				continue
+			}
+			for _, v := range edge {
+				if m.isGray(v) && !contains(grays, v) {
+					grays = append(grays, v)
+				}
+			}
+		}
+		if len(grays) > 0 {
+			return grays
+		}
+	}
+	for v := 0; v < e.p.N(); v++ {
+		if m.isGray(v) {
+			grays = append(grays, v)
+		}
+	}
+	return grays
+}
+
+func contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// send routes a Gpsi to the worker owning its next expansion vertex and
+// enforces the intermediate-result budget.
+func (e *engine) send(ctx *bsp.Context[gpsi], m gpsi) {
+	ctx.Send(m.Map[m.Next], m)
+	ctx.AddCounter("generated", 1)
+	e.chargeBudget(ctx)
+}
+
+// chargeBudget accounts one created Gpsi against MaxIntermediate and reports
+// whether the run may continue.
+func (e *engine) chargeBudget(ctx *bsp.Context[gpsi]) bool {
+	total := e.generated.Add(1)
+	if e.opts.MaxIntermediate > 0 && total > e.opts.MaxIntermediate {
+		err := ErrOutOfMemory
+		e.oomErr.CompareAndSwap(nil, &err)
+		ctx.Abort(err)
+		return false
+	}
+	return true
+}
+
+func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
+	st := Stats{
+		Supersteps:          rs.Supersteps,
+		GpsiGenerated:       rs.Counters["generated"],
+		GpsiProcessed:       rs.Counters["processed"],
+		InlineExpansions:    rs.Counters["inline"],
+		PrunedByDegree:      rs.Counters["pruned_degree"],
+		PrunedByOrder:       rs.Counters["pruned_order"],
+		PrunedByIndex:       rs.Counters["pruned_index"],
+		PrunedByInjectivity: rs.Counters["pruned_injective"],
+		PrunedByVerify:      rs.Counters["pruned_verify"],
+		PrunedByLabel:       rs.Counters["pruned_label"],
+		EdgeIndexQueries:    rs.Counters["index_queries"],
+		Results:             rs.Counters["results"],
+		InitialVertex:       e.initial,
+		WorkerTime:          rs.WorkerTime,
+		WorkerMessages:      rs.WorkerMessages,
+		LoadUnits:           e.loads,
+		PerStepMessages:     rs.PerStepMessages,
+		SimulatedMakespan:   rs.SimulatedMakespan(),
+		WallTime:            wall,
+	}
+	if e.ix != nil {
+		st.EdgeIndexBytes = e.ix.SizeBytes()
+	}
+	// Load makespan (Equation 3 with the cost-model load units): sum over
+	// supersteps of the heaviest worker's load. Deterministic and
+	// independent of the physical core count.
+	steps := 0
+	for _, sl := range e.stepLoads {
+		if len(sl) > steps {
+			steps = len(sl)
+		}
+	}
+	for s := 0; s < steps; s++ {
+		max := 0.0
+		for _, sl := range e.stepLoads {
+			if s < len(sl) && sl[s] > max {
+				max = sl[s]
+			}
+		}
+		st.LoadMakespan += max
+	}
+	return &Result{
+		Count:     st.Results,
+		Instances: e.instances,
+		Stats:     st,
+	}
+}
+
+// xorshift is a tiny per-worker PRNG; math/rand would work but this keeps the
+// hot strategy path allocation- and lock-free with reproducible streams.
+type xorshift struct{ state uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x2545f4914f6cdd1d
+	}
+	return &xorshift{state: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	s := x.state
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.state = s
+	return s
+}
+
+// intn returns a uniform value in [0, n).
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// float64v returns a uniform value in [0, 1).
+func (x *xorshift) float64v() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,70 @@
+// Package core implements PSgL, the paper's contribution: a parallel
+// subgraph-listing engine that enumerates pattern instances by pure graph
+// traversal over partial subgraph instances (Gpsi) in a BSP model — no join
+// operator anywhere.
+//
+// A run has two phases (Section 4.2). Initialization: every data vertex whose
+// degree admits the chosen initial pattern vertex creates a one-pair Gpsi.
+// Expansion: each superstep, every in-flight Gpsi is expanded at one GRAY
+// pattern vertex (Algorithm 1): edges to already-mapped neighbors are
+// verified, candidates for WHITE neighbors are drawn from the local adjacency
+// with degree/partial-order/edge-index pruning (Algorithm 5), new Gpsis are
+// routed by a pluggable distribution strategy (Algorithm 3), and completed,
+// fully verified Gpsis are emitted as results.
+package core
+
+import "psgl/internal/graph"
+
+// unmapped marks a pattern vertex with no data-vertex image yet (WHITE).
+const unmapped graph.VertexID = -1
+
+// gpsi is the partial subgraph instance — the unit of work and the message
+// type of the BSP computation. Fields are exported for gob (TCP exchange).
+//
+// Colors are implicit: pattern vertex v is BLACK if bit v of Expanded is set,
+// GRAY if mapped but not expanded, WHITE if Map[v] == unmapped.
+type gpsi struct {
+	// Map[v] is the data vertex mapped to pattern vertex v, or unmapped.
+	Map []graph.VertexID
+	// Expanded is the BLACK bitmask (patterns have ≤ 16 vertices here).
+	Expanded uint16
+	// Pending is a bitmask over pattern edge ids of edges whose existence was
+	// only established by the bloom edge index (or not checked at all when
+	// the index is disabled) and still needs exact verification against a
+	// local adjacency list.
+	Pending uint32
+	// Next is the GRAY pattern vertex this Gpsi will be expanded at; the
+	// distribution strategy chose it, and the message was routed to the
+	// worker owning Map[Next].
+	Next int8
+}
+
+func (m *gpsi) isMapped(v int) bool { return m.Map[v] != unmapped }
+func (m *gpsi) isBlack(v int) bool  { return m.Expanded&(1<<uint(v)) != 0 }
+func (m *gpsi) isGray(v int) bool   { return m.isMapped(v) && !m.isBlack(v) }
+func (m *gpsi) isComplete() bool {
+	for _, d := range m.Map {
+		if d == unmapped {
+			return false
+		}
+	}
+	return true
+}
+
+// clone deep-copies the Gpsi for branching during candidate combination.
+func (m *gpsi) clone() gpsi {
+	cp := *m
+	cp.Map = append([]graph.VertexID(nil), m.Map...)
+	return cp
+}
+
+// uses reports whether data vertex d already appears in the mapping
+// (instances are injective).
+func (m *gpsi) uses(d graph.VertexID) bool {
+	for _, x := range m.Map {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/pattern"
+)
+
+func TestLocalExpansionMatchesOracle(t *testing.T) {
+	g := gen.ChungLu(300, 1200, 1.8, 51)
+	for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5()} {
+		want := centralized.CountInstances(p, g)
+		res, err := Run(g, p, Options{Workers: 3, LocalExpansion: true})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: local-expansion count=%d oracle=%d", p.Name(), res.Count, want)
+		}
+	}
+}
+
+func TestLocalExpansionReducesTraffic(t *testing.T) {
+	g := gen.ChungLu(800, 3200, 1.8, 53)
+	sync, err := Run(g, pattern.PG2(), Options{Workers: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := Run(g, pattern.PG2(), Options{Workers: 4, Seed: 2, LocalExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.Count != sync.Count {
+		t.Fatalf("counts diverge: %d vs %d", async.Count, sync.Count)
+	}
+	if async.Stats.InlineExpansions == 0 {
+		t.Error("no inline expansions recorded")
+	}
+	// Same created-Gpsi volume; strictly fewer crossed the wire.
+	sentSync := sync.Stats.GpsiGenerated
+	sentAsync := async.Stats.GpsiGenerated - async.Stats.InlineExpansions
+	if sentAsync >= sentSync {
+		t.Errorf("local expansion did not reduce messages: %d vs %d", sentAsync, sentSync)
+	}
+	if async.Stats.Supersteps > sync.Stats.Supersteps {
+		t.Errorf("local expansion increased supersteps: %d vs %d",
+			async.Stats.Supersteps, sync.Stats.Supersteps)
+	}
+}
+
+func TestLocalExpansionSingleWorkerRunsOneExpansionStep(t *testing.T) {
+	// With one worker everything is local: the whole tree unrolls inside
+	// superstep 1.
+	g := gen.ErdosRenyi(100, 500, 55)
+	res, err := Run(g, pattern.PG4(), Options{Workers: 1, LocalExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps != 2 { // init + one expansion step
+		t.Fatalf("supersteps = %d, want 2", res.Stats.Supersteps)
+	}
+	if want := centralized.CountInstances(pattern.PG4(), g); res.Count != want {
+		t.Fatalf("count=%d want=%d", res.Count, want)
+	}
+}
+
+func TestLocalExpansionRespectsBudget(t *testing.T) {
+	g := gen.ChungLu(500, 2500, 1.7, 57)
+	_, err := Run(g, pattern.PG2(), Options{Workers: 1, LocalExpansion: true, MaxIntermediate: 100})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}

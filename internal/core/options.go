@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"psgl/internal/bsp"
+	"psgl/internal/graph"
+)
+
+// Strategy selects how new partial subgraph instances choose their next
+// expanding vertex — and therefore which worker receives them (Section 5.1).
+type Strategy int
+
+const (
+	// StrategyWorkloadAware picks the GRAY vertex minimizing W_j^α + w_ij
+	// over each worker's local view of all workers' accumulated load, with
+	// w_ij = C(deg(v_d), #WHITE neighbors) (Section 5.1.1). α = 0.5 is the
+	// paper's recommended balance/greed trade-off (Theorem 3). This is the
+	// zero value, i.e. the default.
+	StrategyWorkloadAware Strategy = iota
+	// StrategyRandom picks a GRAY vertex uniformly at random.
+	StrategyRandom
+	// StrategyRoulette picks GRAY vertex k with probability inversely
+	// proportional to deg(map(k)) (Equation 6): high-degree data vertices
+	// expand fewer Gpsis (Heuristic 1).
+	StrategyRoulette
+)
+
+// String names the strategy the way the paper's figures do.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "Random"
+	case StrategyRoulette:
+		return "Roulette"
+	case StrategyWorkloadAware:
+		return "WA"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrOutOfMemory reports that the run exceeded Options.MaxIntermediate
+// partial subgraph instances — the reproduction's deterministic analogue of
+// the JVM OutOfMemory failures in Tables 2 and 4.
+var ErrOutOfMemory = errors.New("psgl: intermediate result budget exceeded (OOM)")
+
+// Options configures a PSgL run. The zero value is valid: 4 workers, the
+// workload-aware strategy with α = 0.5, edge index enabled at 10 bits/edge,
+// automatic initial-vertex selection, no memory budget.
+type Options struct {
+	// Workers is the number of BSP workers K. 0 means 4.
+	Workers int
+	// Strategy is the Gpsi distribution strategy.
+	Strategy Strategy
+	// Alpha is the workload-aware penalty exponent in (0, 1]. Zero or
+	// negative means the default 0.5 (pass a small epsilon like 0.001 to
+	// study the α→0 extreme). Ignored by other strategies.
+	Alpha float64
+	// DisableEdgeIndex turns off the bloom edge index (the "w/o index"
+	// configuration of Table 2): candidates are not cross-checked against
+	// GRAY neighbors at generation time, so every such edge stays pending
+	// until an endpoint expands.
+	DisableEdgeIndex bool
+	// BloomBitsPerEdge sizes the edge index. 0 means 10.
+	BloomBitsPerEdge int
+	// InitialVertex fixes the initial pattern vertex. Negative (or zero
+	// value via NewOptions) selects automatically: the Theorem 5 rule for
+	// cycles and cliques, the Algorithm 4 cost model otherwise.
+	InitialVertex int
+	// MaxIntermediate aborts with ErrOutOfMemory once the total number of
+	// generated Gpsis exceeds it. 0 means unlimited.
+	MaxIntermediate int64
+	// Seed drives the partition and the randomized strategies.
+	Seed int64
+	// Collect retains the full instance mappings in Result.Instances (only
+	// sensible for small result sets; counting is the default, as in the
+	// paper's experiments).
+	Collect bool
+	// DataLabels, when non-nil, carries one label per data vertex and
+	// switches the engine from subgraph listing to labeled subgraph
+	// matching: a data vertex is only a candidate for a pattern vertex with
+	// the same label. The pattern must carry labels too (Pattern.WithLabels)
+	// and vice versa.
+	DataLabels []int32
+	// OnInstance, when non-nil, streams each found instance's mapping
+	// (pattern vertex -> data vertex) as it is emitted, without retaining
+	// it. The callback runs concurrently on worker goroutines and must be
+	// safe for concurrent use; the slice is only valid during the call —
+	// copy it to keep it.
+	OnInstance func(mapping []graph.VertexID)
+	// DisableAutomorphismBreaking skips symmetry breaking (ablation only:
+	// every instance is then found |Aut| times).
+	DisableAutomorphismBreaking bool
+	// LocalExpansion enables the non-level-synchronous mode Section 4.2
+	// permits ("PSgL may not guarantee that each Gpsi is expanded in the
+	// same pace"): a new Gpsi whose chosen expansion vertex is owned by the
+	// current worker is expanded immediately, in the same superstep, instead
+	// of being enqueued for the next one. Results are identical; supersteps
+	// and message volume drop, at the cost of coarser balance feedback.
+	LocalExpansion bool
+	// MaxSupersteps bounds the BSP run. 0 means the bsp default.
+	MaxSupersteps int
+	// Exchange overrides the BSP message exchange (e.g.
+	// bsp.NewTCPExchangeFactory() for loopback-TCP distribution).
+	Exchange bsp.ExchangeFactory
+}
+
+// NewOptions returns the defaults spelled out explicitly.
+func NewOptions() Options {
+	return Options{
+		Workers:          4,
+		Strategy:         StrategyWorkloadAware,
+		Alpha:            0.5,
+		BloomBitsPerEdge: 10,
+		InitialVertex:    -1,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.5
+	}
+	if o.Alpha > 1 {
+		o.Alpha = 1
+	}
+	if o.BloomBitsPerEdge <= 0 {
+		o.BloomBitsPerEdge = 10
+	}
+	return o
+}
+
+// Stats aggregates the run metrics the paper's evaluation reports.
+type Stats struct {
+	// Supersteps is S of Equation 3 (includes the initialization step).
+	Supersteps int
+	// GpsiGenerated counts every partial subgraph instance created — the
+	// "Gpsi#" column of Table 2.
+	GpsiGenerated int64
+	// GpsiProcessed counts expansion calls.
+	GpsiProcessed int64
+	// InlineExpansions counts Gpsis expanded in place under LocalExpansion
+	// (a subset of GpsiGenerated that never crossed a superstep barrier).
+	InlineExpansions int64
+	// Pruning breakdown (Algorithm 5 and GRAY verification).
+	PrunedByDegree      int64
+	PrunedByOrder       int64
+	PrunedByIndex       int64
+	PrunedByInjectivity int64
+	PrunedByVerify      int64
+	PrunedByLabel       int64
+	// EdgeIndexQueries counts bloom lookups.
+	EdgeIndexQueries int64
+	// Results is the number of instances found.
+	Results int64
+	// InitialVertex is the pattern vertex the run started from.
+	InitialVertex int
+	// Per-worker metrics (Figure 5): compute time and cost-model load units.
+	WorkerTime     []time.Duration
+	WorkerMessages []int64
+	LoadUnits      []float64
+	// PerStepMessages[s] is the number of Gpsis produced in superstep s.
+	PerStepMessages []int64
+	// SimulatedMakespan is Σ_s max_k L_ks (Equation 3) over measured
+	// per-worker compute times.
+	SimulatedMakespan time.Duration
+	// LoadMakespan is Σ_s max_k L_ks over cost-model load units instead of
+	// measured times: deterministic, and meaningful even when the simulated
+	// worker count exceeds the physical core count (Figures 5 and 8).
+	LoadMakespan float64
+	// WallTime is the physical elapsed time of the run.
+	WallTime time.Duration
+	// EdgeIndexBytes is the footprint of the bloom index (0 when disabled).
+	EdgeIndexBytes int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Count is the number of subgraph instances found.
+	Count int64
+	// Instances holds the mappings (pattern vertex -> data vertex) when
+	// Options.Collect is set.
+	Instances [][]graph.VertexID
+	Stats     Stats
+}

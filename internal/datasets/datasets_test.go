@@ -1,0 +1,92 @@
+package datasets
+
+import (
+	"testing"
+
+	"psgl/internal/stats"
+)
+
+func TestNamesStable(t *testing.T) {
+	n1, n2 := Names(), Names()
+	if len(n1) != 7 {
+		t.Fatalf("expected 7 datasets, got %d: %v", len(n1), n1)
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("Names order not stable")
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) should fail")
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("Load(nope) should fail")
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	g1, err := Load("webgoogle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := MustLoad("webgoogle")
+	if g1 != g2 {
+		t.Fatal("Load should cache and return the identical graph")
+	}
+}
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLoad(name)
+		s, _ := Get(name)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+		if s.kind != "rmat" && g.NumVertices() != s.N {
+			t.Errorf("%s: V=%d, want %d", name, g.NumVertices(), s.N)
+		}
+		t.Logf("%-12s V=%-6d E=%-7d maxdeg=%-5d", name, g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	}
+}
+
+func TestSkewOrdering(t *testing.T) {
+	// The defining property of the suite: wikitalk is the most skewed,
+	// uspatent and randgraph the least. Compare max-degree/avg-degree ratios.
+	ratio := func(name string) float64 {
+		g := MustLoad(name)
+		avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+		return float64(g.MaxDegree()) / avg
+	}
+	wikitalk, webgoogle := ratio("wikitalk"), ratio("webgoogle")
+	uspatent, randgraph := ratio("uspatent"), ratio("randgraph")
+	if wikitalk < webgoogle {
+		t.Errorf("wikitalk (%.0f) should be at least as skewed as webgoogle (%.0f)", wikitalk, webgoogle)
+	}
+	if webgoogle < 3*uspatent {
+		t.Errorf("webgoogle (%.0f) should be far more skewed than uspatent (%.0f)", webgoogle, uspatent)
+	}
+	if uspatent < randgraph {
+		t.Errorf("uspatent (%.0f) should be more skewed than ER randgraph (%.0f)", uspatent, randgraph)
+	}
+}
+
+func TestPowerLawDatasetsFitOrdering(t *testing.T) {
+	// Fit the hub tail (well above the average degree); the generator's
+	// uniform body would otherwise dominate the MLE.
+	gamma := func(name string) float64 {
+		g := MustLoad(name)
+		avg := int(2 * g.NumEdges() / int64(g.NumVertices()))
+		got, err := stats.FromHistogram(g.DegreeHistogram()).PowerLawGamma(5 * avg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return got
+	}
+	gw, gu := gamma("webgoogle"), gamma("uspatent")
+	if gw >= gu {
+		t.Errorf("fitted gamma ordering violated: webgoogle=%.2f >= uspatent=%.2f", gw, gu)
+	}
+}

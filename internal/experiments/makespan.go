@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"psgl/internal/makespan"
+)
+
+// Makespan studies the partial-subgraph-instance distribution problem of
+// Definition 1 in isolation (Theorems 2 and 3): the online strategies against
+// the brute-force optimum on small instances, and against each other plus
+// the g(N)/K lower bound on large ones. It is the controlled companion to
+// Figures 3 and 5, free of graph effects.
+func Makespan() string {
+	r := newReport("Distribution problem in isolation (Definition 1, Theorem 3)")
+
+	// Small instances: exact OPT is computable; verify the K·OPT bound and
+	// report how close each strategy lands.
+	const smallTrials = 40
+	var optSum, g0, gHalf, g1, rnd float64
+	worstRatio := 0.0
+	for seed := int64(0); seed < smallTrials; seed++ {
+		inst := makespan.RandomInstance(8, 3, 20, seed)
+		opt := makespan.Optimal(inst)
+		optSum += opt.Makespan
+		h := makespan.Greedy(inst, 0.5)
+		g0 += makespan.Greedy(inst, 0.001).Makespan
+		gHalf += h.Makespan
+		g1 += makespan.Greedy(inst, 1).Makespan
+		rnd += makespan.RandomAssign(inst, seed).Makespan
+		if ratio := h.Makespan / opt.Makespan; ratio > worstRatio {
+			worstRatio = ratio
+		}
+	}
+	r.row("setting", "mean makespan", "vs OPT")
+	r.rowf("OPT (brute force)\t%.1f\t1.00", optSum/smallTrials)
+	r.rowf("greedy α=0.5\t%.1f\t%.2f", gHalf/smallTrials, gHalf/optSum)
+	r.rowf("greedy α~0\t%.1f\t%.2f", g0/smallTrials, g0/optSum)
+	r.rowf("greedy α=1\t%.1f\t%.2f", g1/smallTrials, g1/optSum)
+	r.rowf("random\t%.1f\t%.2f", rnd/smallTrials, rnd/optSum)
+	r.note("8 items × 3 workers × %d instances; worst α=0.5 ratio %.2f (Theorem 3 bound: K=3)",
+		smallTrials, worstRatio)
+
+	// Large instances: OPT is intractable; compare against the lower bound.
+	const largeTrials = 20
+	var lb, l0, lHalf, l1, lRnd float64
+	for seed := int64(0); seed < largeTrials; seed++ {
+		inst := makespan.RandomInstance(2000, 16, 100, seed)
+		lb += makespan.LowerBound(inst)
+		l0 += makespan.Greedy(inst, 0.001).Makespan
+		lHalf += makespan.Greedy(inst, 0.5).Makespan
+		l1 += makespan.Greedy(inst, 1).Makespan
+		lRnd += makespan.RandomAssign(inst, seed).Makespan
+	}
+	r.row("", "", "")
+	r.row("setting", "mean makespan", "vs lower bound")
+	r.rowf("lower bound g(N)/K\t%.0f\t1.00", lb/largeTrials)
+	r.rowf("greedy α=0.5\t%.0f\t%.2f", lHalf/largeTrials, lHalf/lb)
+	r.rowf("greedy α~0\t%.0f\t%.2f", l0/largeTrials, l0/lb)
+	r.rowf("greedy α=1\t%.0f\t%.2f", l1/largeTrials, l1/lb)
+	r.rowf("random\t%.0f\t%.2f", lRnd/largeTrials, lRnd/lb)
+	r.note("2000 items × 16 workers × %d instances", largeTrials)
+	return r.String()
+}

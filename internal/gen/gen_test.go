@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"psgl/internal/graph"
+	"psgl/internal/stats"
+)
+
+func degDist(g *graph.Graph) *stats.Distribution {
+	return stats.FromHistogram(g.DegreeHistogram())
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := ErdosRenyi(5000, 50000, 1)
+	if g.NumVertices() != 5000 {
+		t.Fatalf("V = %d, want 5000", g.NumVertices())
+	}
+	// Duplicate merging loses a bit; expect within 3%.
+	if g.NumEdges() < 48500 || g.NumEdges() > 50000 {
+		t.Fatalf("E = %d, want ~50000", g.NumEdges())
+	}
+	// Poisson-like: max degree should stay near the mean (20), far below hubs
+	// of a power-law graph with the same density.
+	if g.MaxDegree() > 60 {
+		t.Errorf("ER max degree = %d, too skewed", g.MaxDegree())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1 := ErdosRenyi(1000, 5000, 42)
+	g2 := ErdosRenyi(1000, 5000, 42)
+	g3 := ErdosRenyi(1000, 5000, 43)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	same := true
+	for v := 0; v < 1000 && same; v++ {
+		n1, n2 := g1.Neighbors(graph.VertexID(v)), g2.Neighbors(graph.VertexID(v))
+		if len(n1) != len(n2) {
+			same = false
+			break
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different graphs")
+	}
+	if g1.NumEdges() == g3.NumEdges() && g1.MaxDegree() == g3.MaxDegree() {
+		// Extremely unlikely both match for a different seed.
+		t.Log("warning: different seeds produced suspiciously similar graphs")
+	}
+}
+
+func TestErdosRenyiTiny(t *testing.T) {
+	if g := ErdosRenyi(0, 10, 1); g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+	if g := ErdosRenyi(1, 10, 1); g.NumEdges() != 0 {
+		t.Fatal("n=1 cannot have edges")
+	}
+}
+
+func TestChungLuSkewed(t *testing.T) {
+	g := ChungLu(20000, 100000, 1.8, 7)
+	if g.NumVertices() != 20000 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 60000 {
+		t.Fatalf("E = %d, too many merged duplicates", g.NumEdges())
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if g.MaxDegree() < int(10*avg) {
+		t.Errorf("power-law graph should have hubs: max=%d avg=%.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestChungLuGammaOrdering(t *testing.T) {
+	// Lower requested gamma -> heavier tail -> lower fitted gamma. Fit the
+	// hub tail only (well above the average degree) — the uniform body of
+	// the mixture would otherwise dominate the MLE.
+	fit := func(gamma float64) float64 {
+		g := ChungLu(30000, 150000, gamma, 11)
+		avg := int(2 * g.NumEdges() / int64(g.NumVertices()))
+		got, err := degDist(g).PowerLawGamma(5 * avg)
+		if err != nil {
+			t.Fatalf("gamma=%g: %v", gamma, err)
+		}
+		return got
+	}
+	lo, hi := fit(1.5), fit(3.0)
+	if lo >= hi {
+		t.Fatalf("fitted gammas not ordered: γ(1.5 req)=%.2f >= γ(3.0 req)=%.2f", lo, hi)
+	}
+}
+
+func TestChungLuExtremeGammaClamped(t *testing.T) {
+	// γ near 1 must not hang or panic (weight cap takes over).
+	g := ChungLu(5000, 25000, 1.0, 3)
+	if g.NumVertices() != 5000 {
+		t.Fatal("bad vertex count")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	n, k := 10000, 5
+	g := BarabasiAlbert(n, k, 9)
+	if g.NumVertices() != n {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// Each non-seed vertex adds k edges; seed clique adds C(k+1,2).
+	wantE := int64((n-(k+1))*k + (k+1)*k/2)
+	if g.NumEdges() > wantE || g.NumEdges() < wantE-int64(n)/100 {
+		t.Fatalf("E = %d, want ~%d", g.NumEdges(), wantE)
+	}
+	// Min degree of non-seed vertices is k.
+	below := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.VertexID(v)) < k {
+			below++
+		}
+	}
+	if below > 0 {
+		t.Errorf("%d vertices below degree %d", below, k)
+	}
+	// BA is power law with gamma ~ 3.
+	gamma, err := degDist(g).PowerLawGamma(k + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma < 2.2 || gamma > 4.0 {
+		t.Errorf("BA fitted gamma = %.2f, want ~3", gamma)
+	}
+}
+
+func TestBarabasiAlbertTiny(t *testing.T) {
+	g := BarabasiAlbert(3, 5, 1) // k larger than n
+	if g.NumVertices() != 3 {
+		t.Fatal("bad vertex count")
+	}
+	if g.NumEdges() != 3 { // falls back to a triangle seed
+		t.Fatalf("E = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(14, 100000, 0.57, 0.19, 0.19, 0.05, 5)
+	if g.NumVertices() != 1<<14 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 50000 {
+		t.Fatalf("E = %d, too few", g.NumEdges())
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 8*avg {
+		t.Errorf("RMAT should be skewed: max=%d avg=%.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATBadProbabilitiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for probabilities not summing to 1")
+		}
+	}()
+	RMAT(4, 10, 0.5, 0.5, 0.5, 0.5, 1)
+}
+
+func TestGeneratorsProduceSimpleGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":  ErdosRenyi(2000, 10000, 2),
+		"cl":  ChungLu(2000, 10000, 2.0, 2),
+		"ba":  BarabasiAlbert(2000, 4, 2),
+		"rmt": RMAT(11, 10000, 0.57, 0.19, 0.19, 0.05, 2),
+	}
+	for name, g := range graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			nbs := g.Neighbors(graph.VertexID(v))
+			for i, u := range nbs {
+				if int(u) == v {
+					t.Errorf("%s: self loop at %d", name, v)
+				}
+				if i > 0 && nbs[i-1] >= u {
+					t.Errorf("%s: adjacency of %d not strictly sorted", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestERVsPowerLawSkewContrast(t *testing.T) {
+	// Core premise of the paper's evaluation: same |V|,|E|, wildly different
+	// skew. ImbalanceFactor(max/mean degree) must differ by an order of
+	// magnitude.
+	er := ErdosRenyi(20000, 100000, 13)
+	cl := ChungLu(20000, 100000, 1.7, 13)
+	ratio := func(g *graph.Graph) float64 {
+		return float64(g.MaxDegree()) / (2 * float64(g.NumEdges()) / float64(g.NumVertices()))
+	}
+	if ratio(cl) < 5*ratio(er) {
+		t.Errorf("skew contrast too weak: ER=%.1f CL=%.1f", ratio(er), ratio(cl))
+	}
+}
+
+func BenchmarkChungLu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ChungLu(50000, 250000, 1.8, int64(i))
+	}
+}
+
+func BenchmarkErdosRenyi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ErdosRenyi(50000, 250000, int64(i))
+	}
+}
+
+var _ = math.Abs

@@ -1,0 +1,65 @@
+package graph
+
+// BitmapIndex accelerates edge-existence checks against high-degree
+// vertices: Section 5.1.1 of the paper notes that the GRAY-verification cost
+// (costg) "can be done efficiently by a bitmap index". Each vertex whose
+// degree reaches the threshold gets a bitset over all vertices, turning
+// HasEdge from a binary search over a (possibly huge) adjacency list into a
+// single bit probe; low-degree vertices keep the CSR binary search, so the
+// memory cost stays at O(#hubs × |V|/8) bytes.
+type BitmapIndex struct {
+	g      *Graph
+	minDeg int
+	bits   map[VertexID][]uint64
+	words  int
+}
+
+// NewBitmapIndex builds bitsets for every vertex of g with degree >= minDeg.
+// minDeg <= 0 picks a default that caps the index at roughly 4 bytes per
+// edge: hubs with degree >= max(256, |V|/32).
+func NewBitmapIndex(g *Graph, minDeg int) *BitmapIndex {
+	if minDeg <= 0 {
+		minDeg = g.NumVertices() / 32
+		if minDeg < 256 {
+			minDeg = 256
+		}
+	}
+	ix := &BitmapIndex{
+		g:      g,
+		minDeg: minDeg,
+		bits:   map[VertexID][]uint64{},
+		words:  (g.NumVertices() + 63) / 64,
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vd := VertexID(v)
+		if g.Degree(vd) < minDeg {
+			continue
+		}
+		set := make([]uint64, ix.words)
+		for _, u := range g.Neighbors(vd) {
+			set[u/64] |= 1 << (uint(u) % 64)
+		}
+		ix.bits[vd] = set
+	}
+	return ix
+}
+
+// HasEdge reports whether {u, v} is an edge, probing a hub bitset when one
+// endpoint has one and falling back to the CSR binary search otherwise.
+func (ix *BitmapIndex) HasEdge(u, v VertexID) bool {
+	if set, ok := ix.bits[u]; ok {
+		return set[v/64]&(1<<(uint(v)%64)) != 0
+	}
+	if set, ok := ix.bits[v]; ok {
+		return set[u/64]&(1<<(uint(u)%64)) != 0
+	}
+	return ix.g.HasEdge(u, v)
+}
+
+// IndexedVertices returns how many vertices carry a bitset.
+func (ix *BitmapIndex) IndexedVertices() int { return len(ix.bits) }
+
+// SizeBytes returns the memory footprint of the bitsets.
+func (ix *BitmapIndex) SizeBytes() int64 {
+	return int64(len(ix.bits)) * int64(ix.words) * 8
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func skewedTestGraph(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	// A few hubs connected widely, plus random background edges.
+	for h := 0; h < 4; h++ {
+		for i := 0; i < n/2; i++ {
+			b.AddEdge(VertexID(h), VertexID(rng.Intn(n)))
+		}
+	}
+	for i := 0; i < 3*n; i++ {
+		b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBitmapIndexMatchesHasEdge(t *testing.T) {
+	g := skewedTestGraph(2000, 1)
+	ix := NewBitmapIndex(g, 100)
+	if ix.IndexedVertices() == 0 {
+		t.Fatal("no hubs indexed; test graph not skewed enough")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20000; trial++ {
+		u := VertexID(rng.Intn(2000))
+		v := VertexID(rng.Intn(2000))
+		if ix.HasEdge(u, v) != g.HasEdge(u, v) {
+			t.Fatalf("bitmap disagrees with CSR at (%d,%d)", u, v)
+		}
+	}
+	// Every real edge answers true through the hub path too.
+	g.Edges(func(u, v VertexID) bool {
+		if !ix.HasEdge(u, v) || !ix.HasEdge(v, u) {
+			t.Fatalf("edge (%d,%d) missing from bitmap index", u, v)
+		}
+		return true
+	})
+}
+
+func TestBitmapIndexDefaultThreshold(t *testing.T) {
+	g := skewedTestGraph(3000, 3)
+	ix := NewBitmapIndex(g, 0)
+	if ix.minDeg < 256 {
+		t.Fatalf("default threshold %d below floor", ix.minDeg)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		_, indexed := ix.bits[VertexID(v)]
+		if indexed != (g.Degree(VertexID(v)) >= ix.minDeg) {
+			t.Fatalf("vertex %d (deg %d) indexing inconsistent with threshold %d",
+				v, g.Degree(VertexID(v)), ix.minDeg)
+		}
+	}
+	if ix.SizeBytes() != int64(ix.IndexedVertices())*int64((g.NumVertices()+63)/64)*8 {
+		t.Fatal("SizeBytes arithmetic wrong")
+	}
+}
+
+func TestBitmapIndexNoHubs(t *testing.T) {
+	// Threshold above the max degree: pure fallback, still correct.
+	g := FromEdges(5, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}})
+	ix := NewBitmapIndex(g, 100)
+	if ix.IndexedVertices() != 0 {
+		t.Fatal("unexpected hub")
+	}
+	if !ix.HasEdge(1, 2) || ix.HasEdge(0, 3) {
+		t.Fatal("fallback path wrong")
+	}
+}
+
+func BenchmarkHasEdgeHubCSR(b *testing.B) {
+	g := skewedTestGraph(20000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(0, VertexID(i%20000)) // vertex 0 is a hub: binary search over a huge list
+	}
+}
+
+func BenchmarkHasEdgeHubBitmap(b *testing.B) {
+	g := skewedTestGraph(20000, 7)
+	ix := NewBitmapIndex(g, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.HasEdge(0, VertexID(i%20000))
+	}
+}

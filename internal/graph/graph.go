@@ -1,0 +1,166 @@
+// Package graph provides the data-graph substrate for PSgL: an immutable
+// undirected graph in compressed sparse row (CSR) form, a builder, edge-list
+// I/O, the degree-based vertex ordering from Section 3 of the paper (the
+// "ordered graph" with its nb/ns neighbor split), and the random vertex
+// partitioner used to spread the data graph across BSP workers.
+//
+// Vertices are dense int32 identifiers in [0, NumVertices). All graphs are
+// simple: self-loops and duplicate edges are removed at build time, matching
+// the paper's preprocessing ("adding reciprocal edge and eliminating loops").
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex of a data graph. Data graphs in the paper
+// reach 42M vertices; int32 covers that while halving adjacency memory
+// relative to int64.
+type VertexID = int32
+
+// Graph is an immutable undirected simple graph in CSR form. Neighbor lists
+// are sorted ascending by vertex id, which makes HasEdge a binary search and
+// set intersections linear.
+type Graph struct {
+	offsets []int64
+	adj     []VertexID
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E|, counting each undirected edge once.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	nu := g.Neighbors(u)
+	i := sort.Search(len(nu), func(i int) bool { return nu[i] >= v })
+	return i < len(nu) && nu[i] == v
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges calls fn once per undirected edge with u < v. It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v VertexID) bool) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(VertexID(u)) {
+			if v > VertexID(u) {
+				if !fn(VertexID(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// DegreeHistogram returns h where h[d] is the number of vertices of degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	h := make([]int64, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(VertexID(v))]++
+	}
+	return h
+}
+
+// Builder accumulates edges and produces an immutable Graph. It tolerates
+// duplicate edges, reversed duplicates, and self-loops; Build removes them.
+type Builder struct {
+	n    int
+	srcs []VertexID
+	dsts []VertexID
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v VertexID) {
+	if u == v {
+		return
+	}
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.srcs = append(b.srcs, u, v)
+	b.dsts = append(b.dsts, v, u)
+}
+
+// NumPendingEdges returns the number of directed edge records added so far
+// (2x the undirected count, before deduplication).
+func (b *Builder) NumPendingEdges() int { return len(b.srcs) }
+
+// Build produces the CSR graph. The builder can be reused afterwards, but
+// shares no storage with the result.
+func (b *Builder) Build() *Graph {
+	deg := make([]int64, b.n+1)
+	for _, u := range b.srcs {
+		deg[u+1]++
+	}
+	offsets := make([]int64, b.n+1)
+	for i := 1; i <= b.n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]VertexID, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for i, u := range b.srcs {
+		adj[cursor[u]] = b.dsts[i]
+		cursor[u]++
+	}
+	// Sort each adjacency list and drop duplicates in place.
+	outOff := make([]int64, b.n+1)
+	w := int64(0)
+	for u := 0; u < b.n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		list := adj[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		outOff[u] = w
+		var prev VertexID = -1
+		for _, v := range list {
+			if v != prev {
+				adj[w] = v
+				w++
+				prev = v
+			}
+		}
+	}
+	outOff[b.n] = w
+	return &Graph{offsets: outOff, adj: adj[:w:w]}
+}
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]VertexID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// square5 is the data graph of Figure 1 in the paper: vertices 1..6 mapped to
+// 0..5 here.
+func square5() *Graph {
+	return FromEdges(6, [][2]VertexID{
+		{0, 1}, {0, 4}, {0, 5}, {1, 2}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := square5()
+	if got := g.NumVertices(); got != 6 {
+		t.Fatalf("NumVertices = %d, want 6", got)
+	}
+	if got := g.NumEdges(); got != 9 {
+		t.Fatalf("NumEdges = %d, want 9", got)
+	}
+	wantDeg := []int{3, 3, 3, 2, 5, 2}
+	for v, want := range wantDeg {
+		if got := g.Degree(VertexID(v)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if !g.HasEdge(4, 0) || !g.HasEdge(0, 4) {
+		t.Error("HasEdge(4,0) should hold in both directions")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) should be false")
+	}
+}
+
+func TestBuilderDedupAndLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // reversed duplicate
+	b.AddEdge(0, 1) // exact duplicate
+	b.AddEdge(2, 2) // self loop, dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after dedup", got)
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self loop survived Build")
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Errorf("Degree(1) = %d, want 2", got)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := square5()
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(VertexID(v))
+		if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+			t.Errorf("Neighbors(%d) = %v not sorted", v, nb)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.MaxDegree() != 0 {
+		t.Fatalf("empty graph misbehaves: V=%d E=%d maxdeg=%d",
+			g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	}
+	g2 := NewBuilder(5).Build()
+	if g2.NumVertices() != 5 || g2.NumEdges() != 0 {
+		t.Fatalf("edgeless graph misbehaves")
+	}
+	if got := len(g2.Neighbors(3)); got != 0 {
+		t.Fatalf("Neighbors on edgeless graph = %d entries", got)
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := square5()
+	var got [][2]VertexID
+	g.Edges(func(u, v VertexID) bool {
+		got = append(got, [2]VertexID{u, v})
+		return true
+	})
+	if int64(len(got)) != g.NumEdges() {
+		t.Fatalf("Edges visited %d, want %d", len(got), g.NumEdges())
+	}
+	for _, e := range got {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not in u<v order", e)
+		}
+	}
+	// Early stop.
+	count := 0
+	g.Edges(func(u, v VertexID) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := square5()
+	h := g.DegreeHistogram()
+	want := []int64{0, 0, 2, 3, 0, 1}
+	if !reflect.DeepEqual(h, want) {
+		t.Fatalf("DegreeHistogram = %v, want %v", h, want)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestOrderedRanksArePermutation(t *testing.T) {
+	g := square5()
+	o := NewOrdered(g)
+	seen := make([]bool, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		r := o.Rank(VertexID(v))
+		if r < 0 || int(r) >= g.NumVertices() || seen[r] {
+			t.Fatalf("rank(%d)=%d invalid or duplicated", v, r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestOrderedRespectsDegreeThenID(t *testing.T) {
+	g := square5()
+	o := NewOrdered(g)
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if u == v {
+				continue
+			}
+			du, dv := g.Degree(VertexID(u)), g.Degree(VertexID(v))
+			wantLess := du < dv || (du == dv && u < v)
+			if got := o.Less(VertexID(u), VertexID(v)); got != wantLess {
+				t.Errorf("Less(%d,%d) = %v, want %v", u, v, got, wantLess)
+			}
+		}
+	}
+}
+
+func TestOrderedNbNsSumToDegree(t *testing.T) {
+	g := square5()
+	o := NewOrdered(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		if int(o.NB(VertexID(v))+o.NS(VertexID(v))) != g.Degree(VertexID(v)) {
+			t.Errorf("nb+ns != degree at %d", v)
+		}
+	}
+	// Highest-ranked vertex has ns = 0; lowest-ranked has nb = 0.
+	var hi, lo VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if o.Rank(VertexID(v)) == int32(g.NumVertices()-1) {
+			hi = VertexID(v)
+		}
+		if o.Rank(VertexID(v)) == 0 {
+			lo = VertexID(v)
+		}
+	}
+	if o.NS(hi) != 0 {
+		t.Errorf("top vertex %d has ns=%d, want 0", hi, o.NS(hi))
+	}
+	if o.NB(lo) != 0 {
+		t.Errorf("bottom vertex %d has nb=%d, want 0", lo, o.NB(lo))
+	}
+}
+
+func TestOrderedNbNsProperty(t *testing.T) {
+	// Sum of nb over all vertices equals |E| (each edge ranks one end below
+	// the other exactly once); likewise for ns.
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		o := NewOrdered(g)
+		var sumNb, sumNs int64
+		for v := 0; v < n; v++ {
+			sumNb += int64(o.NB(VertexID(v)))
+			sumNs += int64(o.NS(VertexID(v)))
+		}
+		return sumNb == g.NumEdges() && sumNs == g.NumEdges()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasEdgeMatchesNeighborScan(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		for trial := 0; trial < 50; trial++ {
+			u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			scan := false
+			for _, w := range g.Neighbors(u) {
+				if w == v {
+					scan = true
+					break
+				}
+			}
+			if g.HasEdge(u, v) != scan {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := square5()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: V %d->%d E %d->%d",
+			g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+	}
+	// Vertex ids are first-seen compacted, so compare via degree multiset.
+	h1, h2 := g.DegreeHistogram(), g2.DegreeHistogram()
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatalf("degree histograms differ: %v vs %v", h1, h2)
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# comment\n% konect comment\n\n10 20\n20 30\n10 20\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got V=%d E=%d, want V=3 E=2", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"1\n", "a b\n", "1 b\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPartitionCoversAllWorkers(t *testing.T) {
+	p := NewPartition(8, 42)
+	counts := make([]int, 8)
+	for v := 0; v < 10000; v++ {
+		w := p.Owner(VertexID(v))
+		if w < 0 || w >= 8 {
+			t.Fatalf("Owner(%d) = %d out of range", v, w)
+		}
+		counts[w]++
+	}
+	for w, c := range counts {
+		if c < 1000 || c > 1500 {
+			t.Errorf("worker %d owns %d of 10000 vertices; partition too skewed", w, c)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	p1 := NewPartition(4, 7)
+	p2 := NewPartition(4, 7)
+	p3 := NewPartition(4, 8)
+	same, diff := true, false
+	for v := 0; v < 1000; v++ {
+		if p1.Owner(VertexID(v)) != p2.Owner(VertexID(v)) {
+			same = false
+		}
+		if p1.Owner(VertexID(v)) != p3.Owner(VertexID(v)) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different assignments")
+	}
+	if !diff {
+		t.Error("different seeds produced identical assignments")
+	}
+}
+
+func TestPartitionOwnedBy(t *testing.T) {
+	g := square5()
+	p := NewPartition(3, 1)
+	total := 0
+	for w := 0; w < 3; w++ {
+		owned := p.OwnedBy(g, w)
+		total += len(owned)
+		for _, v := range owned {
+			if p.Owner(v) != w {
+				t.Errorf("OwnedBy(%d) contains %d owned by %d", w, v, p.Owner(v))
+			}
+		}
+	}
+	if total != g.NumVertices() {
+		t.Errorf("OwnedBy partitions cover %d vertices, want %d", total, g.NumVertices())
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	bld := NewBuilder(n)
+	for i := 0; i < 20*n; i++ {
+		bld.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+	}
+	g := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(VertexID(i%n), VertexID((i*7)%n))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	type edge struct{ u, v VertexID }
+	edges := make([]edge, 20*n)
+	for i := range edges {
+		edges[i] = edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		for _, e := range edges {
+			bld.AddEdge(e.u, e.v)
+		}
+		bld.Build()
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the whitespace-separated edge-list format used by SNAP
+// and KONECT dumps: one "u v" pair per line, '#' or '%' starting a comment
+// line. Vertex ids may be sparse; they are compacted to a dense [0, n) range
+// in first-seen order. The resulting graph is undirected and simple.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]VertexID)
+	var edges [][2]VertexID
+	intern := func(raw int64) VertexID {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := VertexID(len(ids))
+		ids[raw] = v
+		return v
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, [2]VertexID{intern(u), intern(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: %v", err)
+	}
+	return FromEdges(len(ids), edges), nil
+}
+
+// WriteEdgeList writes g in the edge-list format accepted by ReadEdgeList,
+// one undirected edge per line with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v VertexID) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,41 @@
+package graph
+
+// Partition maps vertices to workers. PSgL random-partitions the data graph
+// (Section 5.1: "the data graph is simply random partitioned"); a seeded
+// integer hash gives a deterministic pseudo-random assignment without storing
+// a permutation.
+type Partition struct {
+	K    int
+	seed uint64
+}
+
+// NewPartition creates a random partition of vertices over k workers.
+func NewPartition(k int, seed int64) Partition {
+	if k <= 0 {
+		panic("graph: partition needs at least one worker")
+	}
+	return Partition{K: k, seed: uint64(seed)}
+}
+
+// Owner returns the worker that owns vertex v, in [0, K).
+func (p Partition) Owner(v VertexID) int {
+	// splitmix64 finalizer over (v, seed): cheap, well mixed, deterministic.
+	x := uint64(uint32(v)) + 0x9e3779b97f4a7c15 + p.seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(p.K))
+}
+
+// OwnedBy returns the vertices of g owned by worker w, in ascending order.
+func (p Partition) OwnedBy(g *Graph, w int) []VertexID {
+	var out []VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if p.Owner(VertexID(v)) == w {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package graphchi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+)
+
+func TestMatchesInMemoryLister(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.ErdosRenyi(500, 4000, seed)
+		want := centralized.CountTriangles(g)
+		res, err := CountTriangles(g, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Triangles != want {
+			t.Errorf("seed=%d: graphchi=%d in-memory=%d", seed, res.Triangles, want)
+		}
+	}
+}
+
+func TestMatchesOnSkewedGraph(t *testing.T) {
+	g := gen.ChungLu(3000, 15000, 1.6, 7)
+	want := centralized.CountTriangles(g)
+	res, err := CountTriangles(g, Options{Shards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != want {
+		t.Fatalf("graphchi=%d in-memory=%d", res.Triangles, want)
+	}
+}
+
+func TestShardCountInvariance(t *testing.T) {
+	g := gen.ChungLu(1000, 5000, 1.8, 3)
+	want := centralized.CountTriangles(g)
+	for _, p := range []int{1, 2, 3, 8, 16} {
+		res, err := CountTriangles(g, Options{Shards: p})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", p, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("shards=%d: %d, want %d", p, res.Triangles, want)
+		}
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	var k5e [][2]graph.VertexID
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			k5e = append(k5e, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(j)})
+		}
+	}
+	k5 := graph.FromEdges(5, k5e)
+	res, err := CountTriangles(k5, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", res.Triangles)
+	}
+	c4 := graph.FromEdges(4, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	res, err = CountTriangles(c4, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 0 {
+		t.Fatalf("C4 triangles = %d, want 0", res.Triangles)
+	}
+}
+
+func TestActuallyTouchesDisk(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.ErdosRenyi(800, 6000, 2)
+	res, err := CountTriangles(g, Options{Shards: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if err != nil || len(files) != 4 {
+		t.Fatalf("expected 4 shard files, got %v (%v)", files, err)
+	}
+	var onDisk int64
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += fi.Size()
+	}
+	if onDisk != res.Stats.BytesWritten {
+		t.Errorf("BytesWritten=%d but shards hold %d bytes", res.Stats.BytesWritten, onDisk)
+	}
+	if res.Stats.BytesRead < res.Stats.BytesWritten {
+		t.Errorf("read %d < wrote %d: the sweep must re-read every shard at least once",
+			res.Stats.BytesRead, res.Stats.BytesWritten)
+	}
+	if res.Stats.ShardLoads < 4 {
+		t.Errorf("only %d shard loads for 4 shards", res.Stats.ShardLoads)
+	}
+}
+
+func TestWindowBoundedMemory(t *testing.T) {
+	// More shards = smaller peak window.
+	g := gen.ChungLu(4000, 20000, 1.8, 5)
+	few, err := CountTriangles(g, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := CountTriangles(g, Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Stats.PeakWindowMiB >= few.Stats.PeakWindowMiB {
+		t.Errorf("peak window did not shrink with more shards: 2->%.3fMiB 16->%.3fMiB",
+			few.Stats.PeakWindowMiB, many.Stats.PeakWindowMiB)
+	}
+	// But more shards = more repeated reads (the out-of-core trade-off).
+	if many.Stats.BytesRead <= few.Stats.BytesRead {
+		t.Errorf("more shards should re-read more: 2->%d bytes 16->%d bytes",
+			few.Stats.BytesRead, many.Stats.BytesRead)
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	if _, err := CountTriangles(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	empty := graph.NewBuilder(10).Build()
+	res, err := CountTriangles(empty, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 0 {
+		t.Errorf("triangles in edgeless graph = %d", res.Triangles)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int64
+	}{
+		{nil, nil, 0},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 2},
+		{[]int32{1, 5, 9}, []int32{2, 6, 10}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := intersectCount(c.a, c.b); got != c.want {
+			t.Errorf("intersect(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGraphChiTriangles(b *testing.B) {
+	g := gen.ChungLu(20000, 100000, 1.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CountTriangles(g, Options{Shards: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

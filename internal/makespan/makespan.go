@@ -1,0 +1,167 @@
+// Package makespan studies the partial subgraph instance distribution problem
+// of Definition 1 in isolation. The paper reduces minimum makespan scheduling
+// on unrelated machines to it (Theorem 2, NP-hardness) and proposes the
+// online heuristic argmin_j {W_j^α + w_ij}; Theorem 3 proves the α = 0.5
+// variant stays within K·OPT. This package provides the online strategies,
+// a brute-force optimum for small instances, and lower bounds, so the
+// theorem and the α trade-off can be validated empirically.
+package makespan
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Instance is a distribution problem: Cost[i][j] is the cost of processing
+// item i on worker j (the paper's w_ij; +Inf marks "worker j does not own any
+// GRAY vertex of Gpsi i").
+type Instance struct {
+	Items   int
+	Workers int
+	Cost    [][]float64
+}
+
+// RandomInstance generates an instance where each item is processable on a
+// random subset of workers (like a Gpsi whose GRAY vertices land on a few
+// workers) with integer costs in [1, maxCost].
+func RandomInstance(items, workers, maxCost int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{Items: items, Workers: workers}
+	inst.Cost = make([][]float64, items)
+	for i := range inst.Cost {
+		row := make([]float64, workers)
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		// Each item is eligible on 1..min(3, workers) workers.
+		eligible := 1 + rng.Intn(minInt(3, workers))
+		for c := 0; c < eligible; c++ {
+			row[rng.Intn(workers)] = float64(1 + rng.Intn(maxCost))
+		}
+		inst.Cost[i] = row
+	}
+	return inst
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Assignment is a schedule: worker per item, plus the resulting makespan.
+type Assignment struct {
+	Worker   []int
+	Makespan float64
+	Total    float64
+}
+
+func evaluate(inst *Instance, worker []int) Assignment {
+	loads := make([]float64, inst.Workers)
+	total := 0.0
+	for i, j := range worker {
+		loads[j] += inst.Cost[i][j]
+		total += inst.Cost[i][j]
+	}
+	mk := 0.0
+	for _, l := range loads {
+		if l > mk {
+			mk = l
+		}
+	}
+	return Assignment{Worker: worker, Makespan: mk, Total: total}
+}
+
+// Greedy runs the online heuristic of Section 5.1.1 with penalty exponent
+// alpha: each item i (in arrival order) goes to argmin_j {W_j^α + w_ij}.
+// α = 1 is the classical least-loaded rule; α = 0 greedily minimizes the
+// added work; α = 0.5 is the paper's balance/greed compromise.
+func Greedy(inst *Instance, alpha float64) Assignment {
+	loads := make([]float64, inst.Workers)
+	worker := make([]int, inst.Items)
+	for i := 0; i < inst.Items; i++ {
+		best, bestScore := -1, math.Inf(1)
+		for j := 0; j < inst.Workers; j++ {
+			w := inst.Cost[i][j]
+			if math.IsInf(w, 1) {
+				continue
+			}
+			score := math.Pow(loads[j], alpha) + w
+			if score < bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best < 0 {
+			best = 0 // unschedulable item; charge worker 0 (should not happen)
+		}
+		worker[i] = best
+		loads[best] += inst.Cost[i][best]
+	}
+	return evaluate(inst, worker)
+}
+
+// RandomAssign sends each item to a uniformly random eligible worker —
+// the baseline matching PSgL's random distribution strategy.
+func RandomAssign(inst *Instance, seed int64) Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	worker := make([]int, inst.Items)
+	for i := 0; i < inst.Items; i++ {
+		var eligible []int
+		for j := 0; j < inst.Workers; j++ {
+			if !math.IsInf(inst.Cost[i][j], 1) {
+				eligible = append(eligible, j)
+			}
+		}
+		if len(eligible) == 0 {
+			worker[i] = 0
+			continue
+		}
+		worker[i] = eligible[rng.Intn(len(eligible))]
+	}
+	return evaluate(inst, worker)
+}
+
+// Optimal computes the exact minimum makespan by exhaustive search. Only
+// feasible for tiny instances (Workers^Items assignments).
+func Optimal(inst *Instance) Assignment {
+	worker := make([]int, inst.Items)
+	best := Assignment{Makespan: math.Inf(1)}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == inst.Items {
+			a := evaluate(inst, append([]int(nil), worker...))
+			if a.Makespan < best.Makespan {
+				best = a
+			}
+			return
+		}
+		for j := 0; j < inst.Workers; j++ {
+			if math.IsInf(inst.Cost[i][j], 1) {
+				continue
+			}
+			worker[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// LowerBound returns g(N)/K = (Σ_i min_j w_ij) / K ≤ OPT, the bound used in
+// the proof of Theorem 3.
+func LowerBound(inst *Instance) float64 {
+	sum := 0.0
+	for i := 0; i < inst.Items; i++ {
+		m := math.Inf(1)
+		for j := 0; j < inst.Workers; j++ {
+			if inst.Cost[i][j] < m {
+				m = inst.Cost[i][j]
+			}
+		}
+		if !math.IsInf(m, 1) {
+			sum += m
+		}
+	}
+	return sum / float64(inst.Workers)
+}

@@ -1,0 +1,157 @@
+package makespan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateKnownInstance(t *testing.T) {
+	inst := &Instance{
+		Items:   3,
+		Workers: 2,
+		Cost: [][]float64{
+			{2, 5},
+			{4, 1},
+			{3, 3},
+		},
+	}
+	a := evaluate(inst, []int{0, 1, 0})
+	if a.Makespan != 5 { // worker 0: 2+3=5, worker 1: 1
+		t.Fatalf("makespan = %g, want 5", a.Makespan)
+	}
+	if a.Total != 6 {
+		t.Fatalf("total = %g, want 6", a.Total)
+	}
+}
+
+func TestGreedyRespectsEligibility(t *testing.T) {
+	inf := math.Inf(1)
+	inst := &Instance{
+		Items:   4,
+		Workers: 3,
+		Cost: [][]float64{
+			{1, inf, inf},
+			{inf, 2, inf},
+			{inf, inf, 3},
+			{5, 5, inf},
+		},
+	}
+	for _, alpha := range []float64{0, 0.5, 1} {
+		a := Greedy(inst, alpha)
+		want := []int{0, 1, 2}
+		for i, j := range want {
+			if a.Worker[i] != j {
+				t.Errorf("alpha=%g: item %d on worker %d, want %d", alpha, i, a.Worker[i], j)
+			}
+		}
+		if a.Worker[3] == 2 {
+			t.Errorf("alpha=%g: item 3 assigned to ineligible worker", alpha)
+		}
+	}
+}
+
+func TestOptimalTinyInstance(t *testing.T) {
+	inst := &Instance{
+		Items:   4,
+		Workers: 2,
+		Cost: [][]float64{
+			{3, 3}, {3, 3}, {2, 2}, {2, 2},
+		},
+	}
+	opt := Optimal(inst)
+	if opt.Makespan != 5 { // {3,2} on each worker
+		t.Fatalf("OPT = %g, want 5", opt.Makespan)
+	}
+}
+
+// TestTheorem3Bound empirically validates the K·OPT guarantee of the α=0.5
+// rule on many random instances with brute-force optima.
+func TestTheorem3Bound(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		inst := RandomInstance(7, 3, 20, seed)
+		opt := Optimal(inst)
+		if math.IsInf(opt.Makespan, 1) {
+			continue
+		}
+		g := Greedy(inst, 0.5)
+		if g.Makespan > float64(inst.Workers)*opt.Makespan+1e-9 {
+			t.Errorf("seed=%d: greedy %.0f > K*OPT = %.0f", seed, g.Makespan, float64(inst.Workers)*opt.Makespan)
+		}
+	}
+}
+
+func TestLowerBoundBelowOptimal(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		inst := RandomInstance(6, 3, 15, seed)
+		opt := Optimal(inst)
+		if lb := LowerBound(inst); lb > opt.Makespan+1e-9 {
+			t.Errorf("seed=%d: lower bound %.2f above OPT %.2f", seed, lb, opt.Makespan)
+		}
+	}
+}
+
+// TestAlphaHalfBeatsExtremesOnAverage reproduces the argument of Section
+// 5.1.1: across many larger instances, α=0.5 should (on average) produce a
+// makespan no worse than both α=0 (greedy on added work, imbalanced) and
+// α=1 (balance-first, local optima).
+func TestAlphaHalfBeatsExtremesOnAverage(t *testing.T) {
+	var sum0, sumHalf, sum1, sumRand float64
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		inst := RandomInstance(400, 8, 100, seed)
+		sum0 += Greedy(inst, 0).Makespan
+		sumHalf += Greedy(inst, 0.5).Makespan
+		sum1 += Greedy(inst, 1).Makespan
+		sumRand += RandomAssign(inst, seed).Makespan
+	}
+	t.Logf("avg makespan: alpha0=%.0f alpha0.5=%.0f alpha1=%.0f random=%.0f",
+		sum0/trials, sumHalf/trials, sum1/trials, sumRand/trials)
+	if sumHalf > 1.05*sum0 {
+		t.Errorf("alpha=0.5 (%.0f) much worse than alpha=0 (%.0f)", sumHalf, sum0)
+	}
+	if sumHalf > 1.05*sum1 {
+		t.Errorf("alpha=0.5 (%.0f) much worse than alpha=1 (%.0f)", sumHalf, sum1)
+	}
+	if sumHalf > sumRand {
+		t.Errorf("alpha=0.5 (%.0f) worse than random (%.0f)", sumHalf, sumRand)
+	}
+}
+
+func TestRandomAssignEligibleOnly(t *testing.T) {
+	inst := RandomInstance(100, 5, 10, 3)
+	a := RandomAssign(inst, 9)
+	for i, j := range a.Worker {
+		if math.IsInf(inst.Cost[i][j], 1) {
+			t.Fatalf("item %d randomly assigned to ineligible worker %d", i, j)
+		}
+	}
+}
+
+func TestRandomInstanceShape(t *testing.T) {
+	inst := RandomInstance(50, 4, 10, 1)
+	if inst.Items != 50 || inst.Workers != 4 || len(inst.Cost) != 50 {
+		t.Fatal("bad instance shape")
+	}
+	for i, row := range inst.Cost {
+		eligible := 0
+		for _, c := range row {
+			if !math.IsInf(c, 1) {
+				if c < 1 || c > 10 {
+					t.Fatalf("item %d: cost %g out of [1,10]", i, c)
+				}
+				eligible++
+			}
+		}
+		if eligible == 0 {
+			t.Fatalf("item %d has no eligible worker", i)
+		}
+	}
+}
+
+func BenchmarkGreedyAlphaHalf(b *testing.B) {
+	inst := RandomInstance(10000, 16, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(inst, 0.5)
+	}
+}

@@ -1,0 +1,190 @@
+// Package mr is a miniature in-process MapReduce runtime: parallel map tasks,
+// a hash shuffle into R reducers, parallel reduce tasks, and counters. The
+// paper's baselines (Afrati's one-round multiway join and SGIA-MR's iterative
+// edge join) are defined purely in terms of these primitives, so this runtime
+// is the substrate they run on in this reproduction. The per-reducer load
+// statistics it reports expose the shuffle skew — the "curse of the last
+// reducer" — that Section 7.5 blames for the baselines' variance.
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrShuffleBudget reports that a job exceeded its MaxShufflePairs budget —
+// the reproduction's analogue of a MapReduce job dying from intermediate
+// data blowup.
+var ErrShuffleBudget = errors.New("mr: shuffle budget exceeded")
+
+// Job describes one MapReduce round over inputs of type I with int64 keys
+// and values of type V, producing outputs of type O.
+//
+// Keys are int64 because every key in this repository is a vertex id, an
+// encoded vertex pair, or an encoded bucket tuple; a fixed key type keeps
+// the shuffle allocation-free.
+type Job[I, V, O any] struct {
+	// Name labels the job in stats.
+	Name string
+	// Map processes one input record and emits key/value pairs.
+	Map func(input I, emit func(key int64, value V))
+	// Reduce processes one key group and emits outputs.
+	Reduce func(key int64, values []V, emit func(O))
+	// Reducers is R (>= 1). 0 means 8.
+	Reducers int
+	// Parallelism bounds concurrent map/reduce tasks. 0 means GOMAXPROCS.
+	Parallelism int
+	// MaxShufflePairs aborts the job with ErrShuffleBudget when the shuffle
+	// would hold more pairs. 0 means unlimited.
+	MaxShufflePairs int64
+}
+
+// Stats reports one round's behavior.
+type Stats struct {
+	Name         string
+	Inputs       int64
+	ShufflePairs int64
+	Outputs      int64
+	// ReducerPairs[r] is the number of pairs shuffled into reducer r; the
+	// max/mean ratio is the skew metric.
+	ReducerPairs []int64
+	MapTime      time.Duration
+	ReduceTime   time.Duration
+}
+
+// MaxReducerLoad returns the heaviest reducer's pair count.
+func (s *Stats) MaxReducerLoad() int64 {
+	var max int64
+	for _, c := range s.ReducerPairs {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Skew returns max/mean reducer load (1 = perfectly balanced).
+func (s *Stats) Skew() float64 {
+	if s.ShufflePairs == 0 || len(s.ReducerPairs) == 0 {
+		return 1
+	}
+	mean := float64(s.ShufflePairs) / float64(len(s.ReducerPairs))
+	return float64(s.MaxReducerLoad()) / mean
+}
+
+type pair[V any] struct {
+	key   int64
+	value V
+}
+
+// Run executes the job over inputs and returns the collected outputs.
+func Run[I, V, O any](job Job[I, V, O], inputs []I) ([]O, *Stats, error) {
+	r := job.Reducers
+	if r <= 0 {
+		r = 8
+	}
+	par := job.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if job.Map == nil || job.Reduce == nil {
+		return nil, nil, fmt.Errorf("mr: job %q needs Map and Reduce", job.Name)
+	}
+	stats := &Stats{Name: job.Name, Inputs: int64(len(inputs)), ReducerPairs: make([]int64, r)}
+
+	// Map phase: each task fills per-reducer buckets.
+	mapStart := time.Now()
+	chunks := par
+	if chunks > len(inputs) {
+		chunks = len(inputs)
+	}
+	if chunks == 0 {
+		chunks = 1
+	}
+	buckets := make([][][]pair[V], chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([][]pair[V], r)
+			lo := len(inputs) * c / chunks
+			hi := len(inputs) * (c + 1) / chunks
+			emit := func(key int64, value V) {
+				red := int(uint64(mix64(uint64(key))) % uint64(r))
+				local[red] = append(local[red], pair[V]{key: key, value: value})
+			}
+			for _, in := range inputs[lo:hi] {
+				job.Map(in, emit)
+			}
+			buckets[c] = local
+		}(c)
+	}
+	wg.Wait()
+	stats.MapTime = time.Since(mapStart)
+
+	for _, local := range buckets {
+		for red, ps := range local {
+			stats.ReducerPairs[red] += int64(len(ps))
+			stats.ShufflePairs += int64(len(ps))
+		}
+	}
+	if job.MaxShufflePairs > 0 && stats.ShufflePairs > job.MaxShufflePairs {
+		return nil, stats, fmt.Errorf("%w: %d pairs > budget %d (job %q)",
+			ErrShuffleBudget, stats.ShufflePairs, job.MaxShufflePairs, job.Name)
+	}
+
+	// Reduce phase: group by key within each reducer, then reduce groups.
+	reduceStart := time.Now()
+	outs := make([][]O, r)
+	sem := make(chan struct{}, par)
+	for red := 0; red < r; red++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(red int) {
+			defer func() { <-sem; wg.Done() }()
+			var ps []pair[V]
+			for _, local := range buckets {
+				ps = append(ps, local[red]...)
+			}
+			sort.SliceStable(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for i := 0; i < len(ps); {
+				j := i
+				for j < len(ps) && ps[j].key == ps[i].key {
+					j++
+				}
+				values := make([]V, 0, j-i)
+				for _, p := range ps[i:j] {
+					values = append(values, p.value)
+				}
+				job.Reduce(ps[i].key, values, emit)
+				i = j
+			}
+			outs[red] = out
+		}(red)
+	}
+	wg.Wait()
+	stats.ReduceTime = time.Since(reduceStart)
+
+	var result []O
+	for _, out := range outs {
+		result = append(result, out...)
+	}
+	stats.Outputs = int64(len(result))
+	return result, stats, nil
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,191 @@
+package mr
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	lines := []string{"a b a", "b c", "a"}
+	job := Job[string, int64, [2]int64]{
+		Name: "wordcount",
+		Map: func(line string, emit func(int64, int64)) {
+			for _, w := range strings.Fields(line) {
+				emit(int64(w[0]), 1)
+			}
+		},
+		Reduce: func(key int64, values []int64, emit func([2]int64)) {
+			var sum int64
+			for _, v := range values {
+				sum += v
+			}
+			emit([2]int64{key, sum})
+		},
+		Reducers: 4,
+	}
+	out, stats, err := Run(job, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	for _, kv := range out {
+		got[kv[0]] = kv[1]
+	}
+	if got['a'] != 3 || got['b'] != 2 || got['c'] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+	if stats.ShufflePairs != 6 || stats.Outputs != 3 || stats.Inputs != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestKeyGroupingIsComplete(t *testing.T) {
+	// Every value emitted under a key must arrive in exactly one Reduce call.
+	n := 10000
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := Job[int, int64, int64]{
+		Map: func(i int, emit func(int64, int64)) {
+			emit(int64(i%97), int64(i))
+		},
+		Reduce: func(key int64, values []int64, emit func(int64)) {
+			emit(int64(len(values)))
+		},
+		Reducers: 7,
+	}
+	out, _, err := Run(job, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 97 {
+		t.Fatalf("got %d key groups, want 97", len(out))
+	}
+	var total int64
+	for _, c := range out {
+		total += c
+	}
+	if total != int64(n) {
+		t.Fatalf("grouped %d values, want %d", total, n)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	job := Job[int, int64, int64]{
+		Map:    func(int, func(int64, int64)) {},
+		Reduce: func(int64, []int64, func(int64)) {},
+	}
+	out, stats, err := Run(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.ShufflePairs != 0 {
+		t.Fatal("empty job should produce nothing")
+	}
+}
+
+func TestShuffleBudget(t *testing.T) {
+	inputs := make([]int, 1000)
+	job := Job[int, int64, int64]{
+		Map:             func(i int, emit func(int64, int64)) { emit(1, 1); emit(2, 1) },
+		Reduce:          func(k int64, vs []int64, emit func(int64)) { emit(k) },
+		MaxShufflePairs: 500,
+	}
+	_, stats, err := Run(job, inputs)
+	if !errors.Is(err, ErrShuffleBudget) {
+		t.Fatalf("err = %v, want ErrShuffleBudget", err)
+	}
+	if stats == nil || stats.ShufflePairs != 2000 {
+		t.Fatalf("budget stats missing: %+v", stats)
+	}
+}
+
+func TestMissingFunctions(t *testing.T) {
+	if _, _, err := Run(Job[int, int64, int64]{}, []int{1}); err == nil {
+		t.Fatal("job without Map/Reduce accepted")
+	}
+}
+
+func TestSkewMetric(t *testing.T) {
+	// All pairs under one key land on one reducer: skew = R.
+	inputs := make([]int, 800)
+	job := Job[int, int64, int64]{
+		Map:      func(i int, emit func(int64, int64)) { emit(42, 1) },
+		Reduce:   func(k int64, vs []int64, emit func(int64)) { emit(int64(len(vs))) },
+		Reducers: 8,
+	}
+	_, stats, err := Run(job, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skew() != 8 {
+		t.Fatalf("skew = %g, want 8", stats.Skew())
+	}
+	if stats.MaxReducerLoad() != 800 {
+		t.Fatalf("max load = %d, want 800", stats.MaxReducerLoad())
+	}
+}
+
+func TestReduceSeesSortedDistinctKeys(t *testing.T) {
+	inputs := []int{5, 3, 5, 1, 3, 5}
+	var mu sortedRecorder
+	job := Job[int, int64, int64]{
+		Map: func(i int, emit func(int64, int64)) { emit(int64(i), 1) },
+		Reduce: func(k int64, vs []int64, emit func(int64)) {
+			mu.record(k, len(vs))
+		},
+		Reducers: 1,
+	}
+	if _, _, err := Run(job, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if len(mu.keys) != 3 {
+		t.Fatalf("reduce called %d times, want 3", len(mu.keys))
+	}
+	if !sort.SliceIsSorted(mu.keys, func(i, j int) bool { return mu.keys[i] < mu.keys[j] }) {
+		t.Fatalf("keys not sorted within reducer: %v", mu.keys)
+	}
+	if mu.counts[sortIndex(mu.keys, 5)] != 3 {
+		t.Fatalf("key 5 group size wrong: keys=%v counts=%v", mu.keys, mu.counts)
+	}
+}
+
+type sortedRecorder struct {
+	keys   []int64
+	counts []int
+}
+
+func (r *sortedRecorder) record(k int64, n int) {
+	r.keys = append(r.keys, k)
+	r.counts = append(r.counts, n)
+}
+
+func sortIndex(keys []int64, k int64) int {
+	for i, x := range keys {
+		if x == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkShuffle(b *testing.B) {
+	inputs := make([]int, 100000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := Job[int, int64, int64]{
+		Map:      func(i int, emit func(int64, int64)) { emit(int64(i%1000), int64(i)) },
+		Reduce:   func(k int64, vs []int64, emit func(int64)) { emit(int64(len(vs))) },
+		Reducers: 16,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(job, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package pattern
+
+import "fmt"
+
+// The pattern graphs of Figure 4, with automorphisms already broken. PG1–PG4
+// are unambiguous from the paper (triangle, square, diamond, 4-clique); the
+// extracted text garbles PG5's drawing, so we use the 5-vertex house graph
+// (square with a triangular roof) and record that choice in DESIGN.md.
+
+// PG1 returns the triangle (3-cycle), the pattern of Table 3's triangle
+// listing experiments.
+func PG1() *Pattern { return Triangle() }
+
+// PG2 returns the square (4-cycle) of Figure 1.
+func PG2() *Pattern { return Square() }
+
+// PG3 returns the diamond: a 4-cycle with one chord.
+func PG3() *Pattern { return Diamond() }
+
+// PG4 returns the 4-clique.
+func PG4() *Pattern { return Clique(4) }
+
+// PG5 returns the 5-vertex house graph.
+func PG5() *Pattern { return House() }
+
+// Triangle returns K3 with symmetry broken.
+func Triangle() *Pattern { return Clique(3) }
+
+// Square returns C4 with symmetry broken.
+func Square() *Pattern { return Cycle(4) }
+
+// Diamond returns the 4-cycle 0-1-2-3 plus the chord (1,3), symmetry broken.
+func Diamond() *Pattern {
+	p := MustNew("diamond", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}})
+	return p.BreakAutomorphisms()
+}
+
+// House returns the house graph: square 0-1-2-3 with roof apex 4 on edge
+// (1,2), symmetry broken.
+func House() *Pattern {
+	p := MustNew("house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {2, 4}})
+	return p.BreakAutomorphisms()
+}
+
+// Cycle returns the k-cycle (k >= 3) with symmetry broken.
+func Cycle(k int) *Pattern {
+	if k < 3 {
+		panic(fmt.Sprintf("pattern: cycle length %d < 3", k))
+	}
+	edges := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		edges[i] = [2]int{i, (i + 1) % k}
+	}
+	p := MustNew(fmt.Sprintf("cycle%d", k), k, edges)
+	return p.BreakAutomorphisms()
+}
+
+// Clique returns K_k (k >= 2) with symmetry broken.
+func Clique(k int) *Pattern {
+	if k < 2 {
+		panic(fmt.Sprintf("pattern: clique size %d < 2", k))
+	}
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	name := fmt.Sprintf("clique%d", k)
+	if k == 3 {
+		name = "triangle"
+	}
+	p := MustNew(name, k, edges)
+	return p.BreakAutomorphisms()
+}
+
+// Path returns the simple path with k vertices (k-1 edges), symmetry broken.
+func Path(k int) *Pattern {
+	if k < 2 {
+		panic(fmt.Sprintf("pattern: path size %d < 2", k))
+	}
+	edges := make([][2]int, k-1)
+	for i := 0; i < k-1; i++ {
+		edges[i] = [2]int{i, i + 1}
+	}
+	p := MustNew(fmt.Sprintf("path%d", k), k, edges)
+	return p.BreakAutomorphisms()
+}
+
+// Star returns the star with k leaves (vertex 0 is the center), symmetry
+// broken.
+func Star(k int) *Pattern {
+	if k < 1 {
+		panic(fmt.Sprintf("pattern: star needs at least 1 leaf"))
+	}
+	edges := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		edges[i] = [2]int{0, i + 1}
+	}
+	p := MustNew(fmt.Sprintf("star%d", k), k+1, edges)
+	return p.BreakAutomorphisms()
+}
+
+// ByName resolves the catalog names used by the CLI and the bench harness:
+// pg1..pg5, triangle, square, diamond, house, cycleN, cliqueN, pathN, starN.
+func ByName(name string) (*Pattern, error) {
+	switch name {
+	case "pg1", "triangle":
+		return PG1(), nil
+	case "pg2", "square":
+		return PG2(), nil
+	case "pg3", "diamond":
+		return PG3(), nil
+	case "pg4":
+		return PG4(), nil
+	case "pg5", "house":
+		return PG5(), nil
+	}
+	var k int
+	for _, fam := range []struct {
+		prefix string
+		make   func(int) *Pattern
+		min    int
+	}{
+		{"cycle", Cycle, 3},
+		{"clique", Clique, 2},
+		{"path", Path, 2},
+		{"star", Star, 1},
+	} {
+		if n, err := fmt.Sscanf(name, fam.prefix+"%d", &k); n == 1 && err == nil {
+			if k < fam.min || k > 8 {
+				return nil, fmt.Errorf("pattern: %s size %d out of supported range [%d,8]", fam.prefix, k, fam.min)
+			}
+			return fam.make(k), nil
+		}
+	}
+	return nil, fmt.Errorf("pattern: unknown pattern %q", name)
+}

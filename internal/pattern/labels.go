@@ -1,0 +1,36 @@
+package pattern
+
+import "fmt"
+
+// Label support: the paper positions subgraph listing as the special case of
+// subgraph matching in which every vertex carries the same attribute
+// (Section 2). This file supplies the general case as an extension: a
+// pattern may carry one integer label per vertex, automorphisms are then
+// required to preserve labels, and the engines restrict candidate data
+// vertices to matching labels.
+
+// WithLabels returns a copy of p carrying one label per pattern vertex.
+// Symmetry breaking on the result only identifies label-preserving
+// automorphisms, so a labeled pattern usually needs fewer (or no) order
+// constraints.
+func (p *Pattern) WithLabels(labels []int) (*Pattern, error) {
+	if len(labels) != p.n {
+		return nil, fmt.Errorf("pattern %q: %d labels for %d vertices", p.name, len(labels), p.n)
+	}
+	q := p.clone()
+	q.labels = append([]int(nil), labels...)
+	q.orders = nil
+	q.less = make([]bool, q.n*q.n)
+	return q, nil
+}
+
+// Labeled reports whether the pattern carries vertex labels.
+func (p *Pattern) Labeled() bool { return p.labels != nil }
+
+// Label returns vertex v's label, or 0 for unlabeled patterns.
+func (p *Pattern) Label(v int) int {
+	if p.labels == nil {
+		return 0
+	}
+	return p.labels[v]
+}

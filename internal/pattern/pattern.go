@@ -1,0 +1,452 @@
+// Package pattern provides the pattern-graph toolkit of PSgL: small
+// unlabeled connected graphs, enumeration of their automorphisms, the
+// automorphism-breaking procedure of Section 5.2.1 (which assigns a partial
+// order over pattern vertices so every subgraph instance is found exactly
+// once), the minimum vertex cover bound of Theorem 1, and the pattern graphs
+// PG1–PG5 used throughout the paper's evaluation.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Order is one partial-order constraint produced by automorphism breaking:
+// the data vertex mapped to pattern vertex A must precede the data vertex
+// mapped to pattern vertex B in the ordered data graph (Section 3).
+type Order struct {
+	A, B int
+}
+
+// Pattern is an immutable small connected undirected graph with an optional
+// symmetry-breaking partial order. Vertices are 0..N()-1. (The paper numbers
+// pattern vertices from 1; figures translate accordingly.)
+type Pattern struct {
+	name   string
+	n      int
+	adj    [][]int
+	mat    []bool
+	orders []Order
+	// less[a*n+b] reports constraint a<b, including transitive closure.
+	less []bool
+	// labels, when non-nil, carries one vertex label (labels.go); nil means
+	// the unlabeled subgraph-listing case.
+	labels []int
+}
+
+// New builds a pattern from an edge list. It returns an error if the pattern
+// is empty, has out-of-range or self-loop edges, or is disconnected —
+// subgraph listing is defined on connected patterns.
+func New(name string, n int, edges [][2]int) (*Pattern, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pattern %q: need at least one vertex", name)
+	}
+	p := &Pattern{name: name, n: n, adj: make([][]int, n), mat: make([]bool, n*n)}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("pattern %q: edge (%d,%d) out of range [0,%d)", name, a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("pattern %q: self loop at %d", name, a)
+		}
+		if p.mat[a*n+b] {
+			continue
+		}
+		p.mat[a*n+b] = true
+		p.mat[b*n+a] = true
+		p.adj[a] = append(p.adj[a], b)
+		p.adj[b] = append(p.adj[b], a)
+	}
+	for v := range p.adj {
+		sort.Ints(p.adj[v])
+	}
+	if !p.connected() {
+		return nil, fmt.Errorf("pattern %q: not connected", name)
+	}
+	p.less = make([]bool, n*n)
+	return p, nil
+}
+
+// MustNew is New for static pattern literals.
+func MustNew(name string, n int, edges [][2]int) *Pattern {
+	p, err := New(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Pattern) connected() bool {
+	if p.n == 1 {
+		return true
+	}
+	seen := make([]bool, p.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range p.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == p.n
+}
+
+// Name returns the pattern's display name.
+func (p *Pattern) Name() string { return p.name }
+
+// N returns the number of pattern vertices |Vp|.
+func (p *Pattern) N() int { return p.n }
+
+// NumEdges returns |Ep|.
+func (p *Pattern) NumEdges() int {
+	total := 0
+	for _, nb := range p.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of pattern vertex v.
+func (p *Pattern) Degree(v int) int { return len(p.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v (shared storage; do not
+// modify).
+func (p *Pattern) Neighbors(v int) []int { return p.adj[v] }
+
+// HasEdge reports adjacency of a and b.
+func (p *Pattern) HasEdge(a, b int) bool { return p.mat[a*p.n+b] }
+
+// Edges returns all edges with a < b in lexicographic order.
+func (p *Pattern) Edges() [][2]int {
+	var out [][2]int
+	for a := 0; a < p.n; a++ {
+		for _, b := range p.adj[a] {
+			if b > a {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Orders returns the symmetry-breaking constraints (empty before
+// BreakAutomorphisms or for asymmetric patterns).
+func (p *Pattern) Orders() []Order {
+	out := make([]Order, len(p.orders))
+	copy(out, p.orders)
+	return out
+}
+
+// MustPrecede reports whether the symmetry-breaking order (transitively)
+// requires map(a) < map(b) in the ordered data graph.
+func (p *Pattern) MustPrecede(a, b int) bool { return p.less[a*p.n+b] }
+
+// String renders the pattern as name(n=…, edges, orders).
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(n=%d", p.name, p.n)
+	sb.WriteString(", edges=")
+	for i, e := range p.Edges() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e[0], e[1])
+	}
+	if len(p.orders) > 0 {
+		sb.WriteString(", orders=")
+		for i, o := range p.orders {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d<%d", o.A, o.B)
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Automorphisms enumerates every permutation σ of the vertices with
+// (u,v) ∈ Ep ⇔ (σ(u),σ(v)) ∈ Ep, by backtracking with degree pruning.
+// The identity is always included. Intended for small patterns (n ≤ ~10).
+func (p *Pattern) Automorphisms() [][]int {
+	perm := make([]int, p.n)
+	used := make([]bool, p.n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	var out [][]int
+	var rec func(v int)
+	rec = func(v int) {
+		if v == p.n {
+			cp := make([]int, p.n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for img := 0; img < p.n; img++ {
+			if used[img] || len(p.adj[img]) != len(p.adj[v]) {
+				continue
+			}
+			if p.labels != nil && p.labels[img] != p.labels[v] {
+				continue // automorphisms must preserve labels
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if p.mat[v*p.n+u] != p.mat[img*p.n+perm[u]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[v] = img
+			used[img] = true
+			rec(v + 1)
+			used[img] = false
+			perm[v] = -1
+		}
+	}
+	rec(0)
+	return out
+}
+
+// NumAutomorphisms returns |Aut(Gp)|; without symmetry breaking every
+// subgraph instance would be reported this many times.
+func (p *Pattern) NumAutomorphisms() int { return len(p.Automorphisms()) }
+
+// BreakAutomorphisms returns a copy of p carrying a symmetry-breaking partial
+// order computed by the iterative procedure of Section 5.2.1: while the
+// automorphism group is nontrivial, pick an equivalent vertex group (orbit) —
+// preferring groups of higher degree, Heuristic 2 — pin its smallest member
+// below the rest of the orbit, and restrict the group to the stabilizer of
+// that member. The resulting constraint set admits exactly one automorphic
+// image per subgraph instance (the Grochow–Kellis guarantee).
+func (p *Pattern) BreakAutomorphisms() *Pattern {
+	q := p.clone()
+	q.orders = nil
+	group := q.Automorphisms()
+	for len(group) > 1 {
+		orbits := orbitsOf(q.n, group)
+		// Heuristic 2: among non-singleton orbits, prefer vertices with
+		// higher degree; tie-break by larger orbit, then smallest member.
+		best := -1
+		for i, orb := range orbits {
+			if len(orb) < 2 {
+				continue
+			}
+			if best == -1 || betterOrbit(q, orb, orbits[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // nontrivial group with only singleton orbits: impossible
+		}
+		orb := orbits[best]
+		pin := orb[0] // orbits are sorted; pin the smallest member
+		for _, u := range orb[1:] {
+			q.orders = append(q.orders, Order{A: pin, B: u})
+		}
+		// Stabilizer of the pinned vertex.
+		var stab [][]int
+		for _, sigma := range group {
+			if sigma[pin] == pin {
+				stab = append(stab, sigma)
+			}
+		}
+		group = stab
+	}
+	q.computeLess()
+	return q
+}
+
+func betterOrbit(p *Pattern, a, b []int) bool {
+	da, db := p.Degree(a[0]), p.Degree(b[0])
+	if da != db {
+		return da > db
+	}
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	return a[0] < b[0]
+}
+
+func orbitsOf(n int, group [][]int) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, sigma := range group {
+		for v, img := range sigma {
+			a, b := find(v), find(img)
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	buckets := map[int][]int{}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		buckets[r] = append(buckets[r], v)
+	}
+	var out [][]int
+	for _, orb := range buckets {
+		sort.Ints(orb)
+		out = append(out, orb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func (p *Pattern) clone() *Pattern {
+	q := &Pattern{name: p.name, n: p.n, adj: make([][]int, p.n)}
+	for v := range p.adj {
+		q.adj[v] = append([]int(nil), p.adj[v]...)
+	}
+	q.mat = append([]bool(nil), p.mat...)
+	q.orders = append([]Order(nil), p.orders...)
+	q.less = make([]bool, p.n*p.n)
+	copy(q.less, p.less)
+	if p.labels != nil {
+		q.labels = append([]int(nil), p.labels...)
+	}
+	return q
+}
+
+// computeLess fills the transitive closure of the order constraints
+// (Floyd–Warshall over the tiny constraint DAG).
+func (p *Pattern) computeLess() {
+	n := p.n
+	p.less = make([]bool, n*n)
+	for _, o := range p.orders {
+		p.less[o.A*n+o.B] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !p.less[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if p.less[k*n+j] {
+					p.less[i*n+j] = true
+				}
+			}
+		}
+	}
+}
+
+// OrdersAcyclic reports whether the constraint set is a strict partial order
+// (no vertex transitively precedes itself).
+func (p *Pattern) OrdersAcyclic() bool {
+	for v := 0; v < p.n; v++ {
+		if p.less[v*p.n+v] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinVertexCoverSize computes |MVC| by exhaustive subset search; Theorem 1
+// bounds the superstep count S of a level-synchronous run by
+// |MVC| ≤ S ≤ |Vp|-1.
+func (p *Pattern) MinVertexCoverSize() int {
+	edges := p.Edges()
+	for size := 0; size <= p.n; size++ {
+		if coverExists(p.n, edges, size) {
+			return size
+		}
+	}
+	return p.n
+}
+
+func coverExists(n int, edges [][2]int, size int) bool {
+	var rec func(start, left int, inCover []bool) bool
+	covered := func(inCover []bool) bool {
+		for _, e := range edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(start, left int, inCover []bool) bool {
+		if covered(inCover) {
+			return true
+		}
+		if left == 0 {
+			return false
+		}
+		for v := start; v < n; v++ {
+			inCover[v] = true
+			if rec(v+1, left-1, inCover) {
+				return true
+			}
+			inCover[v] = false
+		}
+		return false
+	}
+	return rec(0, size, make([]bool, n))
+}
+
+// IsClique reports whether the pattern is a complete graph.
+func (p *Pattern) IsClique() bool {
+	return p.NumEdges() == p.n*(p.n-1)/2
+}
+
+// IsCycle reports whether the pattern is a simple cycle of length >= 3.
+func (p *Pattern) IsCycle() bool {
+	if p.n < 3 || p.NumEdges() != p.n {
+		return false
+	}
+	for v := 0; v < p.n; v++ {
+		if len(p.adj[v]) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// LowestRankVertex returns the vertex that the partial order places at the
+// bottom: the unique vertex constrained (transitively) below the most others,
+// with no constraint above it. For cycles and cliques after automorphism
+// breaking this is the deterministic "best initial pattern vertex" of
+// Theorem 5. Returns 0 when no constraints exist.
+func (p *Pattern) LowestRankVertex() int {
+	best, bestBelow := 0, -1
+	for v := 0; v < p.n; v++ {
+		hasAbove := false
+		below := 0
+		for u := 0; u < p.n; u++ {
+			if p.less[u*p.n+v] {
+				hasAbove = true
+			}
+			if p.less[v*p.n+u] {
+				below++
+			}
+		}
+		if hasAbove {
+			continue
+		}
+		if below > bestBelow {
+			best, bestBelow = v, below
+		}
+	}
+	return best
+}

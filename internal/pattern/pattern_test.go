@@ -1,0 +1,387 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"psgl/internal/graph"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("empty", 0, nil); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := New("loop", 2, [][2]int{{0, 0}}); err == nil {
+		t.Error("self loop accepted")
+	}
+	if _, err := New("range", 2, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New("disc", 4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+	if _, err := New("dup", 3, [][2]int{{0, 1}, {1, 0}, {1, 2}}); err != nil {
+		t.Errorf("duplicate edge should be merged, got %v", err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	p := MustNew("tri", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if p.N() != 3 || p.NumEdges() != 3 {
+		t.Fatalf("N=%d E=%d", p.N(), p.NumEdges())
+	}
+	for v := 0; v < 3; v++ {
+		if p.Degree(v) != 2 {
+			t.Errorf("Degree(%d)=%d", v, p.Degree(v))
+		}
+	}
+	if !p.HasEdge(0, 2) || p.HasEdge(0, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if got := len(p.Edges()); got != 3 {
+		t.Errorf("Edges() has %d entries", got)
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want int
+	}{
+		{MustNew("k3", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}), 6},
+		{MustNew("c4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), 8},
+		{MustNew("k4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}), 24},
+		{MustNew("p3", 3, [][2]int{{0, 1}, {1, 2}}), 2},
+		{MustNew("diamond", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}}), 4},
+		{MustNew("house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {2, 4}}), 2},
+		{MustNew("star3", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}}), 6},
+		{MustNew("c5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}), 10},
+	}
+	for _, c := range cases {
+		if got := c.p.NumAutomorphisms(); got != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestAutomorphismsAreValid(t *testing.T) {
+	p := MustNew("c4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	for _, sigma := range p.Automorphisms() {
+		seen := make([]bool, 4)
+		for _, img := range sigma {
+			if seen[img] {
+				t.Fatalf("%v is not a permutation", sigma)
+			}
+			seen[img] = true
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				if p.HasEdge(a, b) != p.HasEdge(sigma[a], sigma[b]) {
+					t.Fatalf("%v does not preserve adjacency", sigma)
+				}
+			}
+		}
+	}
+}
+
+// countEmbeddings brute-forces the number of injective edge-preserving maps
+// from p into g, optionally honoring p's partial order under g's degree
+// ranking. With respectOrders=false the count equals
+// (#subgraph instances) × |Aut(p)|.
+func countEmbeddings(p *Pattern, g *graph.Graph, respectOrders bool) int64 {
+	o := graph.NewOrdered(g)
+	n, nd := p.N(), g.NumVertices()
+	mapping := make([]int32, n)
+	used := make([]bool, nd)
+	var count int64
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			count++
+			return
+		}
+		for d := 0; d < nd; d++ {
+			if used[d] {
+				continue
+			}
+			ok := true
+			for u := 0; u < v && ok; u++ {
+				if p.HasEdge(v, u) && !g.HasEdge(graph.VertexID(d), mapping[u]) {
+					ok = false
+				}
+				if respectOrders && ok {
+					if p.MustPrecede(v, u) && !o.Less(graph.VertexID(d), mapping[u]) {
+						ok = false
+					}
+					if p.MustPrecede(u, v) && !o.Less(mapping[u], graph.VertexID(d)) {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = int32(d)
+			used[d] = true
+			rec(v + 1)
+			used[d] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// TestBreakingIsExact is the load-bearing test of this package: after
+// BreakAutomorphisms, the order-constrained embedding count must equal the
+// unconstrained count divided by |Aut| — i.e., exactly one representative per
+// subgraph instance survives, never zero, never two.
+func TestBreakingIsExact(t *testing.T) {
+	patterns := []*Pattern{
+		MustNew("k3", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}),
+		MustNew("c4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		MustNew("k4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+		MustNew("diamond", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}}),
+		MustNew("house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {2, 4}}),
+		MustNew("p4", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		MustNew("star3", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+		MustNew("c5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}),
+		MustNew("bowtie", 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}}),
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(9, 18, seed)
+		for _, p := range patterns {
+			aut := int64(p.NumAutomorphisms())
+			raw := countEmbeddings(p, g, false)
+			if raw%aut != 0 {
+				t.Fatalf("%s seed=%d: raw count %d not divisible by |Aut|=%d", p.Name(), seed, raw, aut)
+			}
+			broken := p.BreakAutomorphisms()
+			got := countEmbeddings(broken, g, true)
+			if got != raw/aut {
+				t.Errorf("%s seed=%d: broken count %d, want %d (raw=%d aut=%d)",
+					p.Name(), seed, got, raw/aut, raw, aut)
+			}
+		}
+	}
+}
+
+func TestBreakingConstraintsIffSymmetric(t *testing.T) {
+	// BreakAutomorphisms must emit constraints exactly when the group is
+	// nontrivial, and afterwards the constrained automorphism count (those
+	// permutations consistent with the order DAG) must be 1.
+	sawAsymmetric, sawSymmetric := false, false
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		var edges [][2]int
+		for i := 1; i < n; i++ { // random spanning tree keeps it connected
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		for i := 0; i < n/2; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		p, err := New("rand", n, filterLoops(edges))
+		if err != nil {
+			continue
+		}
+		aut := p.NumAutomorphisms()
+		b := p.BreakAutomorphisms()
+		if aut == 1 {
+			sawAsymmetric = true
+			if len(b.Orders()) != 0 {
+				t.Errorf("seed=%d: asymmetric pattern got constraints %v", seed, b.Orders())
+			}
+		} else {
+			sawSymmetric = true
+			if len(b.Orders()) == 0 {
+				t.Errorf("seed=%d: |Aut|=%d but no constraints emitted", seed, aut)
+			}
+		}
+		// Surviving automorphisms: σ compatible with the order constraints
+		// (σ maps every constrained pair to a constrained pair in the same
+		// direction). Exactly the identity must survive.
+		survivors := 0
+		for _, sigma := range b.Automorphisms() {
+			ok := true
+			for a := 0; a < n && ok; a++ {
+				for c := 0; c < n && ok; c++ {
+					if b.MustPrecede(a, c) && b.MustPrecede(sigma[c], sigma[a]) {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				survivors++
+			}
+		}
+		if survivors != 1 {
+			t.Errorf("seed=%d: %d automorphisms survive the order constraints, want 1", seed, survivors)
+		}
+	}
+	if !sawAsymmetric || !sawSymmetric {
+		t.Logf("coverage note: asymmetric=%v symmetric=%v", sawAsymmetric, sawSymmetric)
+	}
+}
+
+func filterLoops(edges [][2]int) [][2]int {
+	var out [][2]int
+	for _, e := range edges {
+		if e[0] != e[1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestOrdersAcyclic(t *testing.T) {
+	for _, p := range []*Pattern{PG1(), PG2(), PG3(), PG4(), PG5(), Cycle(5), Clique(5), Path(4), Star(4)} {
+		if !p.OrdersAcyclic() {
+			t.Errorf("%s: constraint set has a cycle: %v", p.Name(), p.Orders())
+		}
+	}
+}
+
+func TestMustPrecedeTransitive(t *testing.T) {
+	p := Clique(4) // total order v0 < v1 < v2 < v3 (up to naming)
+	lo := p.LowestRankVertex()
+	count := 0
+	for u := 0; u < 4; u++ {
+		if u != lo && p.MustPrecede(lo, u) {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("lowest-rank vertex of K4 precedes %d others, want 3", count)
+	}
+}
+
+func TestCatalogShapes(t *testing.T) {
+	cases := []struct {
+		p      *Pattern
+		n, e   int
+		clique bool
+		cycle  bool
+	}{
+		{PG1(), 3, 3, true, true},
+		{PG2(), 4, 4, false, true},
+		{PG3(), 4, 5, false, false},
+		{PG4(), 4, 6, true, false},
+		{PG5(), 5, 6, false, false},
+		{Path(4), 4, 3, false, false},
+		{Star(3), 4, 3, false, false},
+		{Cycle(6), 6, 6, false, true},
+		{Clique(5), 5, 10, true, false},
+	}
+	for _, c := range cases {
+		if c.p.N() != c.n || c.p.NumEdges() != c.e {
+			t.Errorf("%s: n=%d e=%d, want n=%d e=%d", c.p.Name(), c.p.N(), c.p.NumEdges(), c.n, c.e)
+		}
+		if c.p.IsClique() != c.clique {
+			t.Errorf("%s: IsClique=%v", c.p.Name(), c.p.IsClique())
+		}
+		if c.p.IsCycle() != c.cycle {
+			t.Errorf("%s: IsCycle=%v", c.p.Name(), c.p.IsCycle())
+		}
+	}
+}
+
+func TestMinVertexCover(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want int
+	}{
+		{PG1(), 2}, {PG2(), 2}, {PG3(), 2}, {PG4(), 3}, {PG5(), 3},
+		{Path(4), 2}, {Star(5), 1}, {Cycle(5), 3}, {Cycle(6), 3}, {Clique(5), 4},
+	}
+	for _, c := range cases {
+		if got := c.p.MinVertexCoverSize(); got != c.want {
+			t.Errorf("%s: MVC = %d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestLowestRankVertexIsMinimal(t *testing.T) {
+	for _, p := range []*Pattern{PG1(), PG2(), PG4(), Cycle(5), Clique(5)} {
+		lo := p.LowestRankVertex()
+		for u := 0; u < p.N(); u++ {
+			if p.MustPrecede(u, lo) {
+				t.Errorf("%s: vertex %d precedes the lowest-rank vertex %d", p.Name(), u, lo)
+			}
+		}
+		// For cycles and cliques the first broken orbit covers all vertices,
+		// so the pinned vertex precedes every other vertex.
+		for u := 0; u < p.N(); u++ {
+			if u != lo && !p.MustPrecede(lo, u) {
+				t.Errorf("%s: lowest-rank vertex %d does not precede %d", p.Name(), lo, u)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pg1", "pg2", "pg3", "pg4", "pg5", "triangle", "square", "diamond", "house", "cycle5", "clique5", "path4", "star3"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"pg6", "cycle2", "clique99", "blah"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) should fail", name)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := PG2().String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String too short: %q", s)
+	}
+}
+
+func TestHeuristic2PrefersHighDegreeOrbit(t *testing.T) {
+	// Diamond: deg-3 orbit {1,3} and deg-2 orbit {0,2}. The first constraint
+	// must pin within the high-degree orbit.
+	p := MustNew("diamond", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}})
+	b := p.BreakAutomorphisms()
+	orders := b.Orders()
+	if len(orders) == 0 {
+		t.Fatal("no constraints produced")
+	}
+	first := orders[0]
+	if p.Degree(first.A) != 3 {
+		t.Errorf("first constraint %v should involve the degree-3 orbit", first)
+	}
+}
+
+func BenchmarkAutomorphisms(b *testing.B) {
+	p := MustNew("k6", 6, func() [][2]int {
+		var e [][2]int
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				e = append(e, [2]int{i, j})
+			}
+		}
+		return e
+	}())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Automorphisms()
+	}
+}
+
+func BenchmarkBreakAutomorphisms(b *testing.B) {
+	p := MustNew("c6", 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BreakAutomorphisms()
+	}
+}

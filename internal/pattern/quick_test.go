@@ -1,0 +1,119 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnected builds a random connected pattern with 3..7 vertices from
+// a seed: a random spanning tree plus random extra edges.
+func randomConnected(seed int64) *Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(5)
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{rng.Intn(i), i})
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return MustNew("rand", n, edges)
+}
+
+func TestQuickOrdersAlwaysAcyclic(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		b := randomConnected(seed).BreakAutomorphisms()
+		return b.OrdersAcyclic()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBreakingPreservesStructure(t *testing.T) {
+	// Breaking must not change the underlying graph.
+	if err := quick.Check(func(seed int64) bool {
+		p := randomConnected(seed)
+		b := p.BreakAutomorphisms()
+		if p.N() != b.N() || p.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for a := 0; a < p.N(); a++ {
+			for c := 0; c < p.N(); c++ {
+				if p.HasEdge(a, c) != b.HasEdge(a, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExactlyOneAutomorphismSurvives(t *testing.T) {
+	// The core exactness property as a quick check: exactly one automorphism
+	// of the broken pattern is compatible with its own constraint DAG.
+	if err := quick.Check(func(seed int64) bool {
+		b := randomConnected(seed).BreakAutomorphisms()
+		n := b.N()
+		survivors := 0
+		for _, sigma := range b.Automorphisms() {
+			ok := true
+			for a := 0; a < n && ok; a++ {
+				for c := 0; c < n && ok; c++ {
+					if b.MustPrecede(a, c) && b.MustPrecede(sigma[c], sigma[a]) {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				survivors++
+			}
+		}
+		return survivors == 1
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMVCBounds(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		p := randomConnected(seed)
+		mvc := p.MinVertexCoverSize()
+		if mvc < 1 || mvc > p.N()-1 {
+			return false // a connected pattern needs >= 1, never all vertices
+		}
+		// Matching lower bound: a greedy matching's size is <= MVC.
+		matched := make([]bool, p.N())
+		matching := 0
+		for _, e := range p.Edges() {
+			if !matched[e[0]] && !matched[e[1]] {
+				matched[e[0]], matched[e[1]] = true, true
+				matching++
+			}
+		}
+		return mvc >= matching
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLowestRankVertexIsSource(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		b := randomConnected(seed).BreakAutomorphisms()
+		lo := b.LowestRankVertex()
+		for u := 0; u < b.N(); u++ {
+			if b.MustPrecede(u, lo) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package sgia reimplements the second MapReduce baseline of the paper's
+// evaluation, in the style of Plantenga's SGIA-MR ("inexact subgraph
+// isomorphism in MapReduce", JPDC 2013): subgraph listing as an iterative
+// sequence of joins along a pre-defined pattern-edge order. Each round joins
+// the current set of partial matches with the data-edge relation — either an
+// extension join (a pattern edge introducing a new vertex: partial matches
+// meet the adjacency of a data vertex) or a closure join (a pattern edge
+// between two already-matched vertices: partial matches meet the edge
+// relation on an encoded vertex pair).
+//
+// The cost profile is the paper's core criticism of join-based listing: an
+// extension round materializes and shuffles every unfiltered child before
+// the next round's closure can reject it — for the square, literally all
+// length-3 paths — so intermediate results balloon where PSgL's traversal
+// would have pruned in place.
+package sgia
+
+import (
+	"fmt"
+	"time"
+
+	"psgl/internal/graph"
+	"psgl/internal/mr"
+	"psgl/internal/pattern"
+)
+
+// Options configures a run.
+type Options struct {
+	// Reducers is R per round. 0 means 16.
+	Reducers int
+	// Parallelism bounds concurrent tasks. 0 means GOMAXPROCS.
+	Parallelism int
+	// MaxIntermediate aborts with mr.ErrShuffleBudget when a round's shuffle
+	// exceeds it (the OOM / "did not finish in four hours" analogue).
+	MaxIntermediate int64
+}
+
+// RoundStats records one join round.
+type RoundStats struct {
+	Edge         [2]int // pattern edge joined this round
+	Closure      bool
+	InputMatches int64
+	ShufflePairs int64
+	OutMatches   int64
+	Skew         float64
+}
+
+// Stats reports the run's cost profile.
+type Stats struct {
+	Rounds           []RoundStats
+	TotalShuffled    int64
+	PeakIntermediate int64
+	WallTime         time.Duration
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Count int64
+	Stats Stats
+}
+
+// record is the unified map input/value: either a partial match or a data
+// edge endpoint.
+type record struct {
+	Match  []graph.VertexID // nil for edge records
+	Other  graph.VertexID   // extension: the neighbor across the data edge
+	IsEdge bool
+}
+
+// Run counts instances of p in g with the iterative edge join.
+func Run(g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("sgia: nil graph or pattern")
+	}
+	if p.N() < 2 {
+		return nil, fmt.Errorf("sgia: pattern needs >= 2 vertices")
+	}
+	p = p.BreakAutomorphisms()
+	ord := graph.NewOrdered(g)
+
+	reducers := opts.Reducers
+	if reducers <= 0 {
+		reducers = 16
+	}
+
+	start := time.Now()
+	plan := joinOrder(p)
+
+	// Seed matches: map the first edge's endpoints over every data edge
+	// (both orientations), honoring the partial order.
+	first := plan[0]
+	var matches [][]graph.VertexID
+	seed := func(a, b int, u, v graph.VertexID) {
+		if !orderOK(p, ord, a, u, b, v) {
+			return
+		}
+		m := make([]graph.VertexID, p.N())
+		for i := range m {
+			m[i] = -1
+		}
+		m[a], m[b] = u, v
+		matches = append(matches, m)
+	}
+	g.Edges(func(u, v graph.VertexID) bool {
+		seed(first.edge[0], first.edge[1], u, v)
+		seed(first.edge[0], first.edge[1], v, u)
+		return true
+	})
+
+	var edges []record
+	g.Edges(func(u, v graph.VertexID) bool {
+		edges = append(edges, record{Other: v, IsEdge: true, Match: []graph.VertexID{u, v}})
+		return true
+	})
+
+	st := Stats{}
+	st.PeakIntermediate = int64(len(matches))
+	for _, step := range plan[1:] {
+		var out [][]graph.VertexID
+		var roundStats *mr.Stats
+		var err error
+		if step.closure {
+			out, roundStats, err = closureRound(p, step.edge, matches, edges, reducers, opts)
+		} else {
+			out, roundStats, err = extensionRound(p, ord, step.edge, matches, edges, reducers, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.Rounds = append(st.Rounds, RoundStats{
+			Edge:         step.edge,
+			Closure:      step.closure,
+			InputMatches: int64(len(matches)),
+			ShufflePairs: roundStats.ShufflePairs,
+			OutMatches:   int64(len(out)),
+			Skew:         roundStats.Skew(),
+		})
+		st.TotalShuffled += roundStats.ShufflePairs
+		if n := int64(len(out)); n > st.PeakIntermediate {
+			st.PeakIntermediate = n
+		}
+		matches = out
+	}
+	st.WallTime = time.Since(start)
+	return &Result{Count: int64(len(matches)), Stats: st}, nil
+}
+
+type joinStep struct {
+	edge    [2]int
+	closure bool
+}
+
+// joinOrder produces the pre-defined edge order: a BFS spanning exploration
+// from pattern vertex 0 where each newly covered vertex is followed
+// immediately by the closure edges it completes.
+func joinOrder(p *pattern.Pattern) []joinStep {
+	n := p.N()
+	mapped := make([]bool, n)
+	var plan []joinStep
+	cover := func(v int) {
+		mapped[v] = true
+	}
+	// First edge: vertex 0 with its smallest neighbor.
+	b0 := p.Neighbors(0)[0]
+	plan = append(plan, joinStep{edge: [2]int{0, b0}})
+	cover(0)
+	cover(b0)
+	// Closures completed by b0 (only 0 possible; already the edge itself).
+	for len(plan) < p.NumEdges() {
+		// Find an extension edge (mapped, unmapped).
+		found := false
+		for a := 0; a < n && !found; a++ {
+			if !mapped[a] {
+				continue
+			}
+			for _, b := range p.Neighbors(a) {
+				if mapped[b] {
+					continue
+				}
+				plan = append(plan, joinStep{edge: [2]int{a, b}})
+				cover(b)
+				// Closure edges b completes.
+				for _, c := range p.Neighbors(b) {
+					if c != a && mapped[c] {
+						plan = append(plan, joinStep{edge: [2]int{b, c}, closure: true})
+					}
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return plan
+}
+
+// orderOK checks the symmetry-breaking constraints between two pattern
+// vertices under the data ordering.
+func orderOK(p *pattern.Pattern, ord *graph.Ordered, a int, u graph.VertexID, b int, v graph.VertexID) bool {
+	if p.MustPrecede(a, b) && !ord.Less(u, v) {
+		return false
+	}
+	if p.MustPrecede(b, a) && !ord.Less(v, u) {
+		return false
+	}
+	return true
+}
+
+func extensionRound(p *pattern.Pattern, ord *graph.Ordered, e [2]int, matches [][]graph.VertexID, edges []record, reducers int, opts Options) ([][]graph.VertexID, *mr.Stats, error) {
+	a, b := e[0], e[1]
+	inputs := make([]record, 0, len(matches)+len(edges))
+	for _, m := range matches {
+		inputs = append(inputs, record{Match: m})
+	}
+	inputs = append(inputs, edges...)
+	job := mr.Job[record, record, []graph.VertexID]{
+		Name: fmt.Sprintf("sgia-ext-%d-%d", a, b),
+		Map: func(rec record, emit func(int64, record)) {
+			if rec.IsEdge {
+				u, v := rec.Match[0], rec.Match[1]
+				emit(int64(u), record{Other: v, IsEdge: true})
+				emit(int64(v), record{Other: u, IsEdge: true})
+				return
+			}
+			emit(int64(rec.Match[a]), rec)
+		},
+		Reduce: func(key int64, values []record, emit func([]graph.VertexID)) {
+			var neighbors []graph.VertexID
+			var ms [][]graph.VertexID
+			for _, rec := range values {
+				if rec.IsEdge {
+					neighbors = append(neighbors, rec.Other)
+				} else {
+					ms = append(ms, rec.Match)
+				}
+			}
+			for _, m := range ms {
+				for _, x := range neighbors {
+					if used(m, x) {
+						continue
+					}
+					ok := true
+					for u := 0; u < p.N() && ok; u++ {
+						if m[u] < 0 || u == b {
+							continue
+						}
+						if !orderOK(p, ord, b, x, u, m[u]) {
+							ok = false
+						}
+					}
+					if !ok {
+						continue
+					}
+					child := append([]graph.VertexID(nil), m...)
+					child[b] = x
+					emit(child)
+				}
+			}
+		},
+		Reducers:        reducers,
+		Parallelism:     opts.Parallelism,
+		MaxShufflePairs: opts.MaxIntermediate,
+	}
+	return mr.Run(job, inputs)
+}
+
+func closureRound(p *pattern.Pattern, e [2]int, matches [][]graph.VertexID, edges []record, reducers int, opts Options) ([][]graph.VertexID, *mr.Stats, error) {
+	a, b := e[0], e[1]
+	inputs := make([]record, 0, len(matches)+len(edges))
+	for _, m := range matches {
+		inputs = append(inputs, record{Match: m})
+	}
+	inputs = append(inputs, edges...)
+	job := mr.Job[record, record, []graph.VertexID]{
+		Name: fmt.Sprintf("sgia-close-%d-%d", a, b),
+		Map: func(rec record, emit func(int64, record)) {
+			if rec.IsEdge {
+				emit(encodePair(rec.Match[0], rec.Match[1]), record{IsEdge: true})
+				return
+			}
+			emit(encodePair(rec.Match[a], rec.Match[b]), rec)
+		},
+		Reduce: func(key int64, values []record, emit func([]graph.VertexID)) {
+			hasEdge := false
+			for _, rec := range values {
+				if rec.IsEdge {
+					hasEdge = true
+					break
+				}
+			}
+			if !hasEdge {
+				return
+			}
+			for _, rec := range values {
+				if !rec.IsEdge {
+					emit(rec.Match)
+				}
+			}
+		},
+		Reducers:        reducers,
+		Parallelism:     opts.Parallelism,
+		MaxShufflePairs: opts.MaxIntermediate,
+	}
+	return mr.Run(job, inputs)
+}
+
+func used(m []graph.VertexID, x graph.VertexID) bool {
+	for _, v := range m {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// encodePair packs an unordered vertex pair into one int64 join key.
+func encodePair(u, v graph.VertexID) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}

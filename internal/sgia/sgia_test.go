@@ -1,0 +1,170 @@
+package sgia
+
+import (
+	"errors"
+	"testing"
+
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/mr"
+	"psgl/internal/pattern"
+)
+
+func TestMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gen.ErdosRenyi(120, 700, seed)
+		for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5()} {
+			want := centralized.CountInstances(p, g)
+			res, err := Run(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", p.Name(), seed, err)
+			}
+			if res.Count != want {
+				t.Errorf("%s seed=%d: sgia=%d oracle=%d", p.Name(), seed, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestMatchesOracleSkewedGraph(t *testing.T) {
+	g := gen.ChungLu(300, 1200, 1.7, 5)
+	for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2()} {
+		want := centralized.CountInstances(p, g)
+		res, err := Run(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: sgia=%d oracle=%d", p.Name(), res.Count, want)
+		}
+	}
+}
+
+func TestJoinOrderCoversAllEdges(t *testing.T) {
+	for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5(), pattern.Cycle(6), pattern.Clique(5)} {
+		plan := joinOrder(p)
+		if len(plan) != p.NumEdges() {
+			t.Errorf("%s: plan has %d steps, want %d", p.Name(), len(plan), p.NumEdges())
+		}
+		seen := map[[2]int]bool{}
+		mapped := map[int]bool{}
+		for i, step := range plan {
+			a, b := step.edge[0], step.edge[1]
+			if !p.HasEdge(a, b) {
+				t.Errorf("%s: step %d joins non-edge %v", p.Name(), i, step.edge)
+			}
+			key := [2]int{min(a, b), max(a, b)}
+			if seen[key] {
+				t.Errorf("%s: edge %v joined twice", p.Name(), key)
+			}
+			seen[key] = true
+			if i == 0 {
+				mapped[a], mapped[b] = true, true
+				continue
+			}
+			if step.closure {
+				if !mapped[a] || !mapped[b] {
+					t.Errorf("%s: closure step %d with unmapped endpoint", p.Name(), i)
+				}
+			} else {
+				if !mapped[a] || mapped[b] {
+					t.Errorf("%s: extension step %d expects mapped->new, got %v/%v",
+						p.Name(), i, mapped[a], mapped[b])
+				}
+				mapped[b] = true
+			}
+		}
+	}
+}
+
+// TestIntermediateBlowupVsClosure demonstrates the join-cost profile the
+// paper criticizes: for the square, the extension rounds materialize path
+// intermediates that the closure round then discards — peak intermediate
+// count far exceeds the final result count.
+func TestIntermediateBlowupVsClosure(t *testing.T) {
+	g := gen.ChungLu(800, 3200, 1.7, 9)
+	res, err := Run(g, pattern.PG2(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("squares=%d peak intermediate=%d shuffled=%d",
+		res.Count, res.Stats.PeakIntermediate, res.Stats.TotalShuffled)
+	if res.Stats.PeakIntermediate <= 2*res.Count {
+		t.Errorf("expected intermediate blowup: peak=%d count=%d",
+			res.Stats.PeakIntermediate, res.Count)
+	}
+}
+
+func TestBudgetOOM(t *testing.T) {
+	g := gen.ChungLu(800, 3200, 1.7, 9)
+	_, err := Run(g, pattern.PG2(), Options{MaxIntermediate: 500})
+	if !errors.Is(err, mr.ErrShuffleBudget) {
+		t.Fatalf("err = %v, want ErrShuffleBudget", err)
+	}
+}
+
+func TestRoundStatsRecorded(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 2)
+	res, err := Run(g, pattern.PG4(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K4 has 6 edges; first is the seed, so 5 rounds.
+	if len(res.Stats.Rounds) != 5 {
+		t.Fatalf("rounds = %d, want 5", len(res.Stats.Rounds))
+	}
+	for i, r := range res.Stats.Rounds {
+		if r.ShufflePairs <= 0 {
+			t.Errorf("round %d: no shuffle recorded", i)
+		}
+	}
+	if res.Stats.WallTime <= 0 {
+		t.Error("wall time missing")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	if _, err := Run(nil, pattern.PG1(), Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(g, nil, Options{}); err == nil {
+		t.Error("nil pattern accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	res, err := Run(g, pattern.PG2(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Fatalf("count = %d on edgeless graph", res.Count)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkSGIASquare(b *testing.B) {
+	g := gen.ChungLu(1500, 6000, 1.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, pattern.PG2(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package stats provides the statistical tooling PSgL relies on: degree
+// distributions of data graphs (used by the initial-pattern-vertex cost model
+// of Section 5.2.2), discrete power-law exponent estimation (used to verify
+// Property 1 and to characterize datasets, Table 1), and summary helpers for
+// workload-balance reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution is an empirical discrete distribution over non-negative
+// integer values (degrees, nb, ns, per-worker loads, ...).
+type Distribution struct {
+	counts []int64 // counts[d] = number of samples with value d
+	total  int64
+}
+
+// NewDistribution builds a distribution from raw samples.
+func NewDistribution(samples []int32) *Distribution {
+	max := int32(0)
+	for _, s := range samples {
+		if s < 0 {
+			panic("stats: negative sample")
+		}
+		if s > max {
+			max = s
+		}
+	}
+	d := &Distribution{counts: make([]int64, max+1)}
+	for _, s := range samples {
+		d.counts[s]++
+		d.total++
+	}
+	return d
+}
+
+// FromHistogram builds a distribution from counts[d] = #samples of value d.
+func FromHistogram(counts []int64) *Distribution {
+	cp := make([]int64, len(counts))
+	copy(cp, counts)
+	d := &Distribution{counts: cp}
+	for _, c := range cp {
+		if c < 0 {
+			panic("stats: negative histogram count")
+		}
+		d.total += c
+	}
+	return d
+}
+
+// Total returns the number of samples.
+func (d *Distribution) Total() int64 { return d.total }
+
+// Max returns the largest observed value.
+func (d *Distribution) Max() int {
+	for v := len(d.counts) - 1; v >= 0; v-- {
+		if d.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// P returns the empirical probability of value v.
+func (d *Distribution) P(v int) float64 {
+	if v < 0 || v >= len(d.counts) || d.total == 0 {
+		return 0
+	}
+	return float64(d.counts[v]) / float64(d.total)
+}
+
+// Mean returns the sample mean.
+func (d *Distribution) Mean() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range d.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(d.total)
+}
+
+// CCDF returns P(X >= v).
+func (d *Distribution) CCDF(v int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	var tail int64
+	for x := v; x < len(d.counts); x++ {
+		if x >= 0 {
+			tail += d.counts[x]
+		}
+	}
+	if v < 0 {
+		tail = d.total
+	}
+	return float64(tail) / float64(d.total)
+}
+
+// PowerLawGamma estimates the exponent γ of p(d) ∝ d^-γ from all samples with
+// value >= dmin, using the discrete maximum-likelihood approximation of
+// Clauset, Shalizi & Newman: γ ≈ 1 + n / Σ ln(d_i / (dmin - 0.5)).
+// It returns an error when fewer than two samples qualify.
+func (d *Distribution) PowerLawGamma(dmin int) (float64, error) {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var n int64
+	var sum float64
+	for v := dmin; v < len(d.counts); v++ {
+		c := d.counts[v]
+		if c == 0 {
+			continue
+		}
+		n += c
+		sum += float64(c) * math.Log(float64(v)/(float64(dmin)-0.5))
+	}
+	if n < 2 || sum <= 0 {
+		return 0, fmt.Errorf("stats: need >=2 samples >= dmin=%d to fit power law (have %d)", dmin, n)
+	}
+	return 1 + float64(n)/sum, nil
+}
+
+// Summary holds order statistics of a sample set, used to report per-worker
+// load balance (Figure 5-style output).
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean             float64
+	P50, P95         float64
+	Stddev           float64
+	ImbalanceFactor  float64 // Max / Mean; 1.0 = perfectly balanced
+	CoeffOfVariation float64 // Stddev / Mean
+}
+
+// Summarize computes a Summary of xs. It returns the zero Summary for an
+// empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(len(xs))
+	variance := sumSq/float64(len(xs)) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	s := Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		P50:    quantile(sorted, 0.50),
+		P95:    quantile(sorted, 0.95),
+		Stddev: math.Sqrt(variance),
+	}
+	if mean > 0 {
+		s.ImbalanceFactor = s.Max / mean
+		s.CoeffOfVariation = s.Stddev / mean
+	}
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Binomial returns C(n, k) as a float64, saturating at +Inf for large inputs.
+// PSgL uses C(deg(vd), w) as the workload estimate of expanding a pattern
+// vertex with w WHITE neighbors at data vertex vd (Section 5.1.1).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k == 0 || k == n {
+		return 1
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+		if math.IsInf(res, 1) {
+			return math.Inf(1)
+		}
+	}
+	return res
+}

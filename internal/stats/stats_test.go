@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistributionBasics(t *testing.T) {
+	d := NewDistribution([]int32{1, 2, 2, 3, 3, 3})
+	if d.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", d.Total())
+	}
+	if d.Max() != 3 {
+		t.Fatalf("Max = %d, want 3", d.Max())
+	}
+	if got := d.P(2); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("P(2) = %g, want 1/3", got)
+	}
+	if got := d.P(99); got != 0 {
+		t.Errorf("P(99) = %g, want 0", got)
+	}
+	if got := d.Mean(); math.Abs(got-14.0/6) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", got, 14.0/6)
+	}
+	if got := d.CCDF(3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CCDF(3) = %g, want 0.5", got)
+	}
+	if got := d.CCDF(0); got != 1 {
+		t.Errorf("CCDF(0) = %g, want 1", got)
+	}
+}
+
+func TestFromHistogramMatchesSamples(t *testing.T) {
+	samples := []int32{0, 0, 1, 5, 5, 5}
+	d1 := NewDistribution(samples)
+	d2 := FromHistogram([]int64{2, 1, 0, 0, 0, 3})
+	if d1.Total() != d2.Total() || d1.Max() != d2.Max() {
+		t.Fatal("histogram construction disagrees with sample construction")
+	}
+	for v := 0; v <= 5; v++ {
+		if d1.P(v) != d2.P(v) {
+			t.Errorf("P(%d) differs: %g vs %g", v, d1.P(v), d2.P(v))
+		}
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := NewDistribution(nil)
+	if d.Total() != 0 || d.Max() != 0 || d.Mean() != 0 || d.P(0) != 0 || d.CCDF(0) != 0 {
+		t.Fatal("empty distribution should return zeros")
+	}
+	if _, err := d.PowerLawGamma(1); err == nil {
+		t.Fatal("PowerLawGamma on empty distribution should error")
+	}
+}
+
+// TestPowerLawGammaRecovery draws from a discrete power law and checks the
+// MLE recovers the exponent within tolerance.
+func TestPowerLawGammaRecovery(t *testing.T) {
+	for _, gamma := range []float64{1.5, 2.0, 2.5, 3.2} {
+		rng := rand.New(rand.NewSource(7))
+		// Discrete power-law generator from Clauset, Shalizi & Newman:
+		// x = floor((xmin - 1/2)(1-u)^(-1/(γ-1)) + 1/2). Their MLE
+		// approximation is reliable for xmin >= 6, so generate and fit there.
+		const xmin = 6
+		samples := make([]int32, 200000)
+		for i := range samples {
+			u := rng.Float64()
+			x := (xmin-0.5)*math.Pow(1-u, -1/(gamma-1)) + 0.5
+			if x > 1e7 {
+				x = 1e7
+			}
+			samples[i] = int32(x)
+		}
+		d := NewDistribution(samples)
+		got, err := d.PowerLawGamma(xmin)
+		if err != nil {
+			t.Fatalf("gamma=%g: %v", gamma, err)
+		}
+		if math.Abs(got-gamma) > 0.15 {
+			t.Errorf("gamma=%g: MLE = %g, off by %g", gamma, got, math.Abs(got-gamma))
+		}
+	}
+}
+
+func TestPowerLawGammaOrdering(t *testing.T) {
+	// A steeper distribution must fit a larger gamma.
+	rng := rand.New(rand.NewSource(3))
+	mk := func(gamma float64) *Distribution {
+		samples := make([]int32, 50000)
+		for i := range samples {
+			u := rng.Float64()
+			samples[i] = int32(math.Min(0.5*math.Pow(1-u, -1/(gamma-1))+0.5, 1e6))
+		}
+		return NewDistribution(samples)
+	}
+	flat, _ := mk(1.6).PowerLawGamma(1)
+	steep, _ := mk(3.5).PowerLawGamma(1)
+	if flat >= steep {
+		t.Fatalf("gamma ordering violated: flat=%g steep=%g", flat, steep)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 10})
+	if s.N != 5 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("bad extremes: %+v", s)
+	}
+	if math.Abs(s.Mean-4) > 1e-12 {
+		t.Errorf("Mean = %g, want 4", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %g, want 3", s.P50)
+	}
+	if math.Abs(s.ImbalanceFactor-2.5) > 1e-12 {
+		t.Errorf("ImbalanceFactor = %g, want 2.5", s.ImbalanceFactor)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestSummarizeBalancedVsSkewed(t *testing.T) {
+	balanced := Summarize([]float64{10, 10, 10, 10})
+	skewed := Summarize([]float64{1, 1, 1, 37})
+	if balanced.ImbalanceFactor != 1 {
+		t.Errorf("balanced imbalance = %g, want 1", balanced.ImbalanceFactor)
+	}
+	if skewed.ImbalanceFactor <= balanced.ImbalanceFactor {
+		t.Error("skewed load should have higher imbalance factor")
+	}
+}
+
+func TestBinomialExactValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); math.Abs(got-c.want) > 1e-6*math.Max(1, c.want) {
+			t.Errorf("Binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialSymmetry(t *testing.T) {
+	if err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw % 60)
+		k := int(kRaw) % (n + 1)
+		a, b := Binomial(n, k), Binomial(n, n-k)
+		return math.Abs(a-b) <= 1e-9*math.Max(1, a)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 2; n < 40; n++ {
+		for k := 1; k < n; k++ {
+			lhs := Binomial(n, k)
+			rhs := Binomial(n-1, k-1) + Binomial(n-1, k)
+			if math.Abs(lhs-rhs) > 1e-6*lhs {
+				t.Fatalf("Pascal identity fails at n=%d k=%d: %g vs %g", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 100})
+	if s.P50 != 50 {
+		t.Errorf("P50 of {0,100} = %g, want 50", s.P50)
+	}
+}

@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+)
+
+func TestEstimateWithinTolerance(t *testing.T) {
+	g := gen.ChungLu(5000, 25000, 2.0, 3)
+	exact := float64(centralized.CountTriangles(g))
+	if exact < 100 {
+		t.Fatalf("test graph too sparse: %v triangles", exact)
+	}
+	// Average several seeds: the estimator is unbiased, so the mean should
+	// land within a loose relative band at 20k samples.
+	var sum float64
+	const runs = 8
+	for seed := int64(0); seed < runs; seed++ {
+		est, err := EstimateTriangles(g, 20000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est.Estimate
+	}
+	mean := sum / runs
+	if rel := math.Abs(mean-exact) / exact; rel > 0.25 {
+		t.Fatalf("mean estimate %.0f vs exact %.0f: off by %.0f%%", mean, exact, 100*rel)
+	}
+}
+
+func TestAccuracyImprovesWithSamples(t *testing.T) {
+	g := gen.ChungLu(4000, 20000, 1.9, 5)
+	exact := float64(centralized.CountTriangles(g))
+	spread := func(k int) float64 {
+		var errSum float64
+		const runs = 10
+		for seed := int64(0); seed < runs; seed++ {
+			est, err := EstimateTriangles(g, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errSum += math.Abs(est.Estimate - exact)
+		}
+		return errSum / runs
+	}
+	small, large := spread(300), spread(30000)
+	t.Logf("mean abs error: k=300 -> %.0f, k=30000 -> %.0f (exact %.0f)", small, large, exact)
+	if large >= small {
+		t.Errorf("more samples did not improve accuracy: %.0f -> %.0f", small, large)
+	}
+}
+
+func TestTriangleFreeGraphEstimatesZero(t *testing.T) {
+	// A cycle has wedges but no triangles: every sampled wedge is open.
+	n := 1000
+	edges := make([][2]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]graph.VertexID{graph.VertexID(i), graph.VertexID((i + 1) % n)}
+	}
+	g := graph.FromEdges(n, edges)
+	est, err := EstimateTriangles(g, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Estimate != 0 {
+		t.Fatalf("estimate %f on a triangle-free graph", est.Estimate)
+	}
+	if est.Wedges != float64(n) { // each vertex centers exactly one wedge
+		t.Fatalf("wedge total %f, want %d", est.Wedges, n)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := EstimateTriangles(nil, 10, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := gen.ErdosRenyi(10, 20, 1)
+	if _, err := EstimateTriangles(g, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	est, err := EstimateTriangles(g, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Estimate != 0 || est.Samples != 0 || est.Wedges != 0 {
+		t.Fatalf("empty graph produced %+v", est)
+	}
+}
+
+func TestWedgeTotalMatchesDegreeSum(t *testing.T) {
+	// Σ C(deg(v), 2) over all vertices must equal the streamed wedge total.
+	g := gen.ErdosRenyi(500, 3000, 7)
+	est, err := EstimateTriangles(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := float64(g.Degree(graph.VertexID(v)))
+		want += d * (d - 1) / 2
+	}
+	if est.Wedges != want {
+		t.Fatalf("wedge total %f, want %f", est.Wedges, want)
+	}
+}
+
+func BenchmarkEstimateTriangles(b *testing.B) {
+	g := gen.ChungLu(20000, 100000, 1.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateTriangles(g, 10000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

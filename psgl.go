@@ -1,0 +1,337 @@
+// Package psgl is a from-scratch Go implementation of PSgL, the parallel
+// subgraph listing framework of Shao, Cui, Chen, Ma, Yao & Xu (SIGMOD 2014):
+// "Parallel Subgraph Listing in a Large-Scale Graph".
+//
+// PSgL enumerates every instance of a small unlabeled pattern graph in a
+// large unlabeled data graph by pure graph traversal — no join operator. The
+// data graph is partitioned across BSP workers; partial subgraph instances
+// are expanded vertex by vertex and routed between workers by a distribution
+// strategy; a degree-based vertex ordering breaks pattern automorphisms so
+// every instance is found exactly once; and a bloom-filter edge index prunes
+// invalid partial instances before they are communicated.
+//
+// # Quick start
+//
+//	g := psgl.GenerateChungLu(100_000, 500_000, 1.8, 42) // or LoadEdgeList
+//	res, err := psgl.List(g, psgl.Square(), psgl.NewOptions())
+//	if err != nil { ... }
+//	fmt.Println(res.Count)
+//
+// The package also exposes the systems the paper evaluates against —
+// the one-round multiway join of Afrati et al., an SGIA-MR-style iterative
+// edge join, a PowerGraph-style fixed-order one-hop engine, and centralized
+// enumeration — so every table and figure of the paper's evaluation can be
+// regenerated (see cmd/psgl-bench and EXPERIMENTS.md).
+package psgl
+
+import (
+	"fmt"
+	"io"
+
+	"psgl/internal/afrati"
+	"psgl/internal/bsp"
+	"psgl/internal/centralized"
+	"psgl/internal/core"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/graphchi"
+	"psgl/internal/onehop"
+	"psgl/internal/pattern"
+	"psgl/internal/sgia"
+	"psgl/internal/stream"
+	"strconv"
+	"strings"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable undirected simple data graph in CSR form.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and produces a Graph.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a data-graph vertex.
+	VertexID = graph.VertexID
+	// Pattern is a small connected pattern graph, optionally carrying a
+	// symmetry-breaking partial order.
+	Pattern = pattern.Pattern
+)
+
+// PSgL engine configuration and results.
+type (
+	// Options configures a PSgL run; see NewOptions for defaults.
+	Options = core.Options
+	// Result is the outcome of a run: instance count, optional instance
+	// mappings, and run statistics.
+	Result = core.Result
+	// Stats carries the run metrics (Gpsi counts, pruning breakdown,
+	// per-worker load, makespan).
+	Stats = core.Stats
+	// Strategy selects the partial-subgraph-instance distribution strategy.
+	Strategy = core.Strategy
+)
+
+// Distribution strategies (Section 5.1 of the paper).
+const (
+	StrategyRandom        = core.StrategyRandom
+	StrategyRoulette      = core.StrategyRoulette
+	StrategyWorkloadAware = core.StrategyWorkloadAware
+)
+
+// ErrOutOfMemory reports that a run exceeded Options.MaxIntermediate.
+var ErrOutOfMemory = core.ErrOutOfMemory
+
+// NewOptions returns the default configuration: 4 workers, workload-aware
+// distribution with α = 0.5, bloom edge index at 10 bits/edge, automatic
+// initial-pattern-vertex selection.
+func NewOptions() Options { return core.NewOptions() }
+
+// List enumerates all instances of p in g with the PSgL engine.
+func List(g *Graph, p *Pattern, opts Options) (*Result, error) {
+	return core.Run(g, p, opts)
+}
+
+// Count is List without instance collection, returning only the number of
+// instances.
+func Count(g *Graph, p *Pattern, opts Options) (int64, error) {
+	opts.Collect = false
+	res, err := core.Run(g, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// NewTCPExchange returns a BSP message exchange that routes every
+// inter-worker batch through loopback TCP with gob encoding; assign it to
+// Options.Exchange for distributed-execution realism.
+func NewTCPExchange() bsp.ExchangeFactory { return bsp.NewTCPExchangeFactory() }
+
+// Graph construction.
+
+// NewGraphBuilder creates a builder for a data graph with n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GraphFromEdges builds a data graph from an explicit edge list.
+func GraphFromEdges(n int, edges [][2]VertexID) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadEdgeList parses a SNAP/KONECT-style whitespace edge list.
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// SaveEdgeList writes g in the format LoadEdgeList parses.
+func SaveEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Synthetic graph generators (deterministic per seed).
+
+// GenerateErdosRenyi returns a G(n, m) random graph.
+func GenerateErdosRenyi(n int, m int64, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// GenerateChungLu returns a power-law graph with ~m edges and degree
+// exponent gamma (lower = more skewed).
+func GenerateChungLu(n int, m int64, gamma float64, seed int64) *Graph {
+	return gen.ChungLu(n, m, gamma, seed)
+}
+
+// GenerateBarabasiAlbert returns a preferential-attachment graph with k
+// edges per new vertex.
+func GenerateBarabasiAlbert(n, k int, seed int64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// GenerateRMAT returns an R-MAT graph with 2^scale vertices and ~m edges
+// using the classic (0.57, 0.19, 0.19, 0.05) quadrant probabilities.
+func GenerateRMAT(scale int, m int64, seed int64) *Graph {
+	return gen.RMAT(scale, m, 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+// GenerateFromSpec parses a compact generator spec and builds the graph:
+//
+//	"er:N:M"            Erdős–Rényi G(N, M)
+//	"chunglu:N:M:GAMMA" power law with exponent GAMMA
+//	"ba:N:K"            Barabási–Albert, K edges per vertex
+//	"rmat:SCALE:M"      R-MAT with 2^SCALE vertices
+//
+// This is the format the cmd/psgl and cmd/psgl-gen tools accept.
+func GenerateFromSpec(spec string, seed int64) (*Graph, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (*Graph, error) {
+		return nil, fmt.Errorf(`psgl: bad generator spec %q (want "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", or "rmat:SCALE:M")`, spec)
+	}
+	nums := make([]int64, 0, 3)
+	for _, s := range parts[1:] {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			if parts[0] == "chunglu" && len(nums) == 2 {
+				break // third field is the float gamma
+			}
+			return bad()
+		}
+		nums = append(nums, v)
+	}
+	switch parts[0] {
+	case "er":
+		if len(parts) != 3 || len(nums) != 2 {
+			return bad()
+		}
+		return GenerateErdosRenyi(int(nums[0]), nums[1], seed), nil
+	case "chunglu":
+		if len(parts) != 4 || len(nums) < 2 {
+			return bad()
+		}
+		gamma, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return bad()
+		}
+		return GenerateChungLu(int(nums[0]), nums[1], gamma, seed), nil
+	case "ba":
+		if len(parts) != 3 || len(nums) != 2 {
+			return bad()
+		}
+		return GenerateBarabasiAlbert(int(nums[0]), int(nums[1]), seed), nil
+	case "rmat":
+		if len(parts) != 3 || len(nums) != 2 {
+			return bad()
+		}
+		return GenerateRMAT(int(nums[0]), nums[1], seed), nil
+	}
+	return bad()
+}
+
+// Pattern construction.
+
+// NewPattern builds a connected pattern graph from an edge list over
+// vertices 0..n-1. Symmetry is broken automatically by List/Count, so the
+// pattern can be supplied without a partial order.
+func NewPattern(name string, n int, edges [][2]int) (*Pattern, error) {
+	return pattern.New(name, n, edges)
+}
+
+// Catalog patterns (Figure 4 of the paper), automorphisms already broken.
+
+// Triangle returns PG1, the 3-clique.
+func Triangle() *Pattern { return pattern.PG1() }
+
+// Square returns PG2, the 4-cycle of Figure 1.
+func Square() *Pattern { return pattern.PG2() }
+
+// Diamond returns PG3, a 4-cycle with one chord.
+func Diamond() *Pattern { return pattern.PG3() }
+
+// FourClique returns PG4, the complete graph on 4 vertices.
+func FourClique() *Pattern { return pattern.PG4() }
+
+// House returns PG5, the 5-vertex house graph (square with a roof).
+func House() *Pattern { return pattern.PG5() }
+
+// Cycle returns the k-cycle (k >= 3).
+func Cycle(k int) *Pattern { return pattern.Cycle(k) }
+
+// Clique returns the complete graph on k vertices (k >= 2).
+func Clique(k int) *Pattern { return pattern.Clique(k) }
+
+// Path returns the simple path on k vertices (k >= 2).
+func Path(k int) *Pattern { return pattern.Path(k) }
+
+// Star returns the star with k leaves.
+func Star(k int) *Pattern { return pattern.Star(k) }
+
+// PatternByName resolves "pg1".."pg5", "triangle", "square", "diamond",
+// "house", and parameterized "cycleN"/"cliqueN"/"pathN"/"starN".
+func PatternByName(name string) (*Pattern, error) { return pattern.ByName(name) }
+
+// Labeled subgraph matching (the generalization the paper's related-work
+// section describes: listing is matching with uniform labels). Attach labels
+// to a pattern with Pattern.WithLabels and to the data graph with
+// Options.DataLabels; candidates must then match labels, and symmetry
+// breaking respects them.
+
+// CountCentralizedLabeled is the labeled-matching oracle.
+func CountCentralizedLabeled(g *Graph, p *Pattern, dataLabels []int32) int64 {
+	return centralized.CountInstancesLabeled(p.BreakAutomorphisms(), g, dataLabels)
+}
+
+// Reference implementations (the systems the paper compares against).
+
+// CountCentralized enumerates instances on a single thread (the correctness
+// oracle; the GraphChi stand-in of Table 3). Like List, it breaks the
+// pattern's automorphisms first, so each instance is counted exactly once.
+func CountCentralized(g *Graph, p *Pattern) int64 {
+	return centralized.CountInstances(p.BreakAutomorphisms(), g)
+}
+
+// CountTriangles lists triangles with the ordered-intersection method of
+// Chiba–Nishizeki; the fastest exact single-machine triangle counter here.
+func CountTriangles(g *Graph) int64 { return centralized.CountTriangles(g) }
+
+// CountTrianglesOutOfCore counts triangles with the GraphChi-style sharded
+// out-of-core pipeline (disk shards, bounded memory window).
+func CountTrianglesOutOfCore(g *Graph, shards int) (int64, error) {
+	res, err := graphchi.CountTriangles(g, graphchi.Options{Shards: shards})
+	if err != nil {
+		return 0, err
+	}
+	return res.Triangles, nil
+}
+
+// EstimateTriangles runs the one-pass wedge-sampling stream estimator
+// (related-work family of Section 2: bounded memory, approximate count, no
+// instance listing) with k wedge samples.
+func EstimateTriangles(g *Graph, k int, seed int64) (float64, error) {
+	est, err := stream.EstimateTriangles(g, k, seed)
+	if err != nil {
+		return 0, err
+	}
+	return est.Estimate, nil
+}
+
+// MotifCensus counts every pattern in patterns over g with the PSgL engine,
+// returning counts keyed by pattern name — the motif-profile workload the
+// paper's introduction motivates. Patterns are processed sequentially, each
+// with the full worker pool.
+func MotifCensus(g *Graph, patterns []*Pattern, opts Options) (map[string]int64, error) {
+	out := make(map[string]int64, len(patterns))
+	for _, p := range patterns {
+		n, err := Count(g, p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("motif %s: %w", p.Name(), err)
+		}
+		out[p.Name()] = n
+	}
+	return out, nil
+}
+
+// AfratiOptions configures CountAfrati.
+type AfratiOptions = afrati.Options
+
+// CountAfrati counts instances with the one-round multiway MapReduce join of
+// Afrati et al. (ICDE 2013).
+func CountAfrati(g *Graph, p *Pattern, opts AfratiOptions) (int64, error) {
+	res, err := afrati.Run(g, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// SGIAOptions configures CountSGIA.
+type SGIAOptions = sgia.Options
+
+// CountSGIA counts instances with the SGIA-MR-style iterative edge join
+// (Plantenga, JPDC 2013).
+func CountSGIA(g *Graph, p *Pattern, opts SGIAOptions) (int64, error) {
+	res, err := sgia.Run(g, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// OneHopOptions configures CountOneHop.
+type OneHopOptions = onehop.Options
+
+// CountOneHop counts instances with the PowerGraph-style fixed-traversal-
+// order engine (one-hop pruning only).
+func CountOneHop(g *Graph, p *Pattern, opts OneHopOptions) (int64, error) {
+	res, err := onehop.Run(g, p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}

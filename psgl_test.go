@@ -1,0 +1,267 @@
+package psgl_test
+
+// Black-box tests of the public API: everything here goes through the psgl
+// package surface only, as a downstream user would.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"psgl"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := psgl.GenerateChungLu(2000, 8000, 1.8, 42)
+	res, err := psgl.List(g, psgl.Square(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count <= 0 {
+		t.Fatal("no squares found in a dense power-law graph")
+	}
+	if want := psgl.CountCentralized(g, psgl.Square()); res.Count != want {
+		t.Fatalf("List=%d oracle=%d", res.Count, want)
+	}
+}
+
+func TestCountMatchesList(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(500, 2500, 7)
+	res, err := psgl.List(g, psgl.Triangle(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := psgl.Count(g, psgl.Triangle(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != res.Count {
+		t.Fatalf("Count=%d List=%d", n, res.Count)
+	}
+}
+
+func TestAllEnginesAgreeOnPublicAPI(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(150, 900, 3)
+	for _, p := range []*psgl.Pattern{psgl.Triangle(), psgl.Square(), psgl.Diamond(), psgl.FourClique()} {
+		oracle := psgl.CountCentralized(g, p)
+		ps, err := psgl.Count(g, p, psgl.NewOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, err := psgl.CountAfrati(g, p, psgl.AfratiOptions{Buckets: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg, err := psgl.CountSGIA(g, p, psgl.SGIAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oh, err := psgl.CountOneHop(g, p, psgl.OneHopOptions{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps != oracle || af != oracle || sg != oracle || oh != oracle {
+			t.Errorf("%s: oracle=%d psgl=%d afrati=%d sgia=%d onehop=%d",
+				p.Name(), oracle, ps, af, sg, oh)
+		}
+	}
+}
+
+func TestTriangleFastPathAgrees(t *testing.T) {
+	g := psgl.GenerateChungLu(3000, 12000, 1.7, 11)
+	if got, want := psgl.CountTriangles(g), psgl.CountCentralized(g, psgl.Triangle()); got != want {
+		t.Fatalf("CountTriangles=%d oracle=%d", got, want)
+	}
+}
+
+func TestEdgeListRoundTripPublic(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(100, 400, 5)
+	var buf bytes.Buffer
+	if err := psgl.SaveEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := psgl.LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d -> %d after round trip", g.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestCustomPattern(t *testing.T) {
+	// Bowtie: two triangles sharing vertex 2.
+	p, err := psgl.NewPattern("bowtie", 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := psgl.GenerateErdosRenyi(80, 500, 9)
+	got, err := psgl.Count(g, p, psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := psgl.CountCentralized(g, p); got != want {
+		t.Fatalf("bowtie: psgl=%d oracle=%d", got, want)
+	}
+}
+
+func TestPatternByNamePublic(t *testing.T) {
+	p, err := psgl.PatternByName("cycle5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 5 {
+		t.Fatalf("cycle5 has %d vertices", p.N())
+	}
+	if _, err := psgl.PatternByName("nonsense"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestOOMSurfacedPublicly(t *testing.T) {
+	g := psgl.GenerateChungLu(1000, 5000, 1.7, 2)
+	opts := psgl.NewOptions()
+	opts.MaxIntermediate = 50
+	_, err := psgl.List(g, psgl.Square(), opts)
+	if !errors.Is(err, psgl.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestTCPExchangePublic(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(100, 500, 4)
+	opts := psgl.NewOptions()
+	opts.Workers = 2
+	opts.Exchange = psgl.NewTCPExchange()
+	got, err := psgl.Count(g, psgl.Triangle(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := psgl.CountCentralized(g, psgl.Triangle()); got != want {
+		t.Fatalf("tcp=%d oracle=%d", got, want)
+	}
+}
+
+func TestBuilderPublic(t *testing.T) {
+	b := psgl.NewGraphBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	n, err := psgl.Count(g, psgl.Triangle(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("triangles = %d, want 1", n)
+	}
+}
+
+func TestOnInstanceStreaming(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(100, 600, 8)
+	var mu sync.Mutex
+	streamed := 0
+	opts := psgl.NewOptions()
+	opts.OnInstance = func(m []psgl.VertexID) {
+		mu.Lock()
+		streamed++
+		mu.Unlock()
+	}
+	res, err := psgl.List(g, psgl.Triangle(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(streamed) != res.Count {
+		t.Fatalf("streamed %d, counted %d", streamed, res.Count)
+	}
+}
+
+func TestGenerateFromSpec(t *testing.T) {
+	good := map[string]int{
+		"er:100:300":          100,
+		"chunglu:200:800:1.8": 200,
+		"ba:150:3":            150,
+		"rmat:8:500":          256,
+	}
+	for spec, wantV := range good {
+		g, err := psgl.GenerateFromSpec(spec, 1)
+		if err != nil {
+			t.Errorf("%q: %v", spec, err)
+			continue
+		}
+		if g.NumVertices() != wantV {
+			t.Errorf("%q: V=%d, want %d", spec, g.NumVertices(), wantV)
+		}
+	}
+	for _, spec := range []string{"", "er", "er:10", "er:a:b", "chunglu:10:20", "chunglu:10:20:x", "nope:1:2", "rmat:8:500:9"} {
+		if _, err := psgl.GenerateFromSpec(spec, 1); err == nil {
+			t.Errorf("%q accepted", spec)
+		}
+	}
+}
+
+func TestOutOfCoreAndStreamPublic(t *testing.T) {
+	g := psgl.GenerateChungLu(2000, 10000, 1.9, 6)
+	exact := psgl.CountTriangles(g)
+	ooc, err := psgl.CountTrianglesOutOfCore(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ooc != exact {
+		t.Fatalf("out-of-core=%d exact=%d", ooc, exact)
+	}
+	est, err := psgl.EstimateTriangles(g, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > 0 && (est < 0.3*float64(exact) || est > 3*float64(exact)) {
+		t.Fatalf("stream estimate %.0f wildly off exact %d", est, exact)
+	}
+}
+
+func TestMotifCensusPublic(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(200, 1200, 9)
+	census, err := psgl.MotifCensus(g, []*psgl.Pattern{psgl.Triangle(), psgl.Square(), psgl.Path(3)}, psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(census) != 3 {
+		t.Fatalf("census has %d entries", len(census))
+	}
+	if census["triangle"] != psgl.CountCentralized(g, psgl.Triangle()) {
+		t.Fatal("census triangle count wrong")
+	}
+	if census["path3"] == 0 {
+		t.Fatal("no wedges in a dense graph")
+	}
+}
+
+func TestLabeledMatchingPublic(t *testing.T) {
+	g := psgl.GenerateErdosRenyi(120, 700, 10)
+	labels := make([]int32, g.NumVertices())
+	for i := range labels {
+		labels[i] = int32(i % 2)
+	}
+	lp, err := psgl.Triangle().WithLabels([]int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := psgl.NewOptions()
+	opts.DataLabels = labels
+	got, err := psgl.Count(g, lp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := psgl.CountCentralizedLabeled(g, lp, labels); got != want {
+		t.Fatalf("labeled: psgl=%d oracle=%d", got, want)
+	}
+}
+
+func TestLoadEdgeListRejectsGarbage(t *testing.T) {
+	if _, err := psgl.LoadEdgeList(strings.NewReader("not an edge list")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"psgl"
 	"psgl/internal/core"
@@ -34,6 +38,13 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for partition and randomized strategies")
 		budget      = flag.Int64("max-intermediate", 0, "abort after this many partial instances (0 = unlimited)")
 		tcp         = flag.Bool("tcp", false, "route messages over loopback TCP")
+		timeout     = flag.Duration("timeout", 0, "overall run timeout (0 = none); Ctrl-C also cancels cleanly")
+		stepTimeout = flag.Duration("step-timeout", 0, "per-superstep deadline (0 = none)")
+		retries     = flag.Int("exchange-retries", 1, "attempts per superstep exchange (bounded exponential backoff)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for barrier checkpoints (enables checkpointing)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint every N supersteps (with -checkpoint-dir)")
+		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
+		maxRecover  = flag.Int("max-recoveries", 0, "max in-run checkpoint-restore recoveries of failed supersteps")
 		showStats   = flag.Bool("stats", false, "print detailed run statistics")
 		explain     = flag.Bool("explain", false, "print the Algorithm 4 cost estimate per initial pattern vertex and exit")
 		verify      = flag.Bool("verify", false, "cross-check the count against the single-thread oracle (slow on large graphs)")
@@ -73,11 +84,48 @@ func main() {
 	if *tcp {
 		opts.Exchange = psgl.NewTCPExchange()
 	}
+	opts.StepTimeout = *stepTimeout
+	opts.Retry = psgl.RetryPolicy{MaxAttempts: *retries}
+	opts.MaxRecoveries = *maxRecover
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	if *maxRecover > 0 && *ckptDir == "" {
+		log.Fatal("-max-recoveries requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		store, err := psgl.NewFileCheckpointStore(*ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		every := *ckptEvery
+		if every <= 0 {
+			every = 1
+		}
+		opts.CheckpointEvery = every
+		opts.CheckpointStore = store
+		if *resume {
+			opts.ResumeFrom = store
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; pattern: %s\n",
 		g.NumVertices(), g.NumEdges(), p)
-	res, err := psgl.List(g, p, opts)
+	start := time.Now()
+	res, err := psgl.ListContext(ctx, g, p, opts)
 	if err != nil {
+		if ctx.Err() != nil && *ckptDir != "" {
+			log.Fatalf("%v (run state checkpointed in %s after %v; rerun with -resume to continue)",
+				err, *ckptDir, time.Since(start).Round(time.Millisecond))
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("%d\n", res.Count)
@@ -96,6 +144,9 @@ func main() {
 			s.PrunedByDegree, s.PrunedByOrder, s.PrunedByIndex, s.PrunedByInjectivity, s.PrunedByVerify)
 		fmt.Fprintf(os.Stderr, "index queries:    %d (index %d bytes)\n", s.EdgeIndexQueries, s.EdgeIndexBytes)
 		fmt.Fprintf(os.Stderr, "load makespan:    %.0f units\n", s.LoadMakespan)
+		if s.Recoveries > 0 {
+			fmt.Fprintf(os.Stderr, "recoveries:       %d checkpoint restores\n", s.Recoveries)
+		}
 		fmt.Fprintf(os.Stderr, "wall time:        %v\n", s.WallTime)
 	}
 }

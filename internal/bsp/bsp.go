@@ -7,7 +7,17 @@
 // Two message exchanges are provided: the default in-process exchange, and a
 // TCP exchange (tcp.go) that round-trips every inter-worker batch through
 // gob encoding and the loopback network stack, for distributed-execution
-// realism on a single machine.
+// realism on a single machine. A fault-injection wrapper (faults.go) makes
+// either exchange drop, delay, or error batches deterministically, for
+// recovery testing.
+//
+// Fault tolerance mirrors the Giraph substrate the paper ran on: barriers
+// are the recovery points. The engine can snapshot its state (next inboxes
+// plus merged stats) into a CheckpointStore every N supersteps
+// (checkpoint.go), retry failed exchanges with bounded exponential backoff
+// (retry.go), rebuild the exchange and restore the latest checkpoint when a
+// superstep fails, and resume an entirely new run from a persisted
+// checkpoint (Config.ResumeFrom).
 //
 // The engine records the metrics the paper's cost model is built on
 // (Equation 3): per-superstep, per-worker compute time and message counts,
@@ -17,6 +27,7 @@
 package bsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,11 +60,37 @@ type Config struct {
 	Workers int
 	// Owner maps a data vertex to the worker that owns it.
 	Owner func(graph.VertexID) int
-	// MaxSupersteps aborts runaway computations. 0 means 1 << 20.
+	// MaxSupersteps aborts runaway computations: at most MaxSupersteps
+	// supersteps (including the initialization step) are executed. 0 means
+	// 1 << 20.
 	MaxSupersteps int
-	// Exchange overrides the in-process message exchange (e.g. NewTCPExchange).
-	// Nil uses the in-process exchange.
+	// Exchange overrides the in-process message exchange (e.g.
+	// NewTCPExchangeFactory, NewFaultyExchangeFactory). Nil uses the
+	// in-process exchange.
 	Exchange ExchangeFactory
+	// StepTimeout bounds each superstep (compute plus exchange). A superstep
+	// exceeding it fails like an exchange error: it is eligible for
+	// checkpoint recovery, otherwise it fails the run. 0 means no deadline.
+	StepTimeout time.Duration
+	// Retry wraps every Exchange call in bounded exponential backoff. The
+	// zero value performs a single attempt.
+	Retry RetryPolicy
+	// CheckpointEvery > 0 snapshots the run state (next inboxes plus merged
+	// stats) into CheckpointStore at every Nth barrier.
+	CheckpointEvery int
+	// CheckpointStore receives barrier snapshots; required when
+	// CheckpointEvery > 0, and the source of in-run recovery restores.
+	CheckpointStore CheckpointStore
+	// ResumeFrom, when non-nil, loads the latest snapshot from the store and
+	// resumes the run from that barrier instead of starting at Init. An
+	// empty store falls back to a fresh start.
+	ResumeFrom CheckpointStore
+	// MaxRecoveries is how many times a failed superstep (exchange error,
+	// exhausted retries, or step deadline) may be recovered in-run by
+	// rebuilding the exchange from its factory and restoring the latest
+	// checkpoint (or restarting from scratch when no checkpoint exists yet).
+	// 0 disables in-run recovery.
+	MaxRecoveries int
 }
 
 // ErrAborted wraps the error passed to Context.Abort.
@@ -90,8 +127,9 @@ func (c *Context[M]) AddCounter(name string, delta int64) {
 	c.local[name] += delta
 }
 
-// Abort stops the computation after the current superstep. The first error
-// wins; Run returns it wrapped in ErrAborted.
+// Abort stops the computation: every worker short-circuits the remainder of
+// its inbox for the current superstep, and the run ends at the barrier. The
+// first error wins; Run returns it wrapped in ErrAborted.
 func (c *Context[M]) Abort(err error) {
 	if err == nil {
 		err = errors.New("abort with nil error")
@@ -112,6 +150,8 @@ type RunStats struct {
 	// PerStepWorkerTime[s][w] is worker w's compute time in superstep s.
 	PerStepWorkerTime [][]time.Duration
 	Counters          map[string]int64
+	// Recoveries counts in-run checkpoint-restore recoveries (not retries).
+	Recoveries int
 }
 
 // SimulatedMakespan is the cost model of Equation 3: the sum over supersteps
@@ -135,43 +175,92 @@ func (s *RunStats) SimulatedMakespan() time.Duration {
 // each later superstep delivers the previous step's messages; the run ends
 // when a superstep produces no messages, or when a worker aborts.
 func Run[M any](cfg Config, prog Program[M]) (*RunStats, error) {
+	return RunContext[M](context.Background(), cfg, prog)
+}
+
+// RunContext is Run with cancellation: the run stops at the next barrier (or
+// message boundary within a superstep) once ctx is done, and ctx deadlines
+// bound the exchange's network operations. Config.StepTimeout additionally
+// derives a per-superstep deadline from ctx.
+func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunStats, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("bsp: need >= 1 worker, have %d", cfg.Workers)
 	}
 	if cfg.Owner == nil {
 		return nil, fmt.Errorf("bsp: Owner function is required")
 	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointStore == nil {
+		return nil, fmt.Errorf("bsp: CheckpointEvery set without a CheckpointStore")
+	}
+	if cfg.MaxRecoveries > 0 && cfg.CheckpointStore == nil {
+		return nil, fmt.Errorf("bsp: MaxRecoveries set without a CheckpointStore")
+	}
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = 1 << 20
 	}
-	var exchange Exchange[M]
-	if cfg.Exchange != nil {
-		ex, err := newExchangeFromFactory[M](cfg.Exchange, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		exchange = ex
-	} else {
-		exchange = localExchange[M]{}
+	buildExchange := func() (Exchange[M], error) {
+		return newExchangeFromFactory[M](cfg.Exchange, cfg.Workers)
 	}
-	defer exchange.Close()
+	exchange, err := buildExchange()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { exchange.Close() }()
 
 	k := cfg.Workers
-	stats := &RunStats{
-		WorkerTime:     make([]time.Duration, k),
-		WorkerMessages: make([]int64, k),
-		Counters:       map[string]int64{},
+	newStats := func() *RunStats {
+		return &RunStats{
+			WorkerTime:     make([]time.Duration, k),
+			WorkerMessages: make([]int64, k),
+			Counters:       map[string]int64{},
+		}
 	}
+	stats := newStats()
 	var abortPtr atomic.Pointer[error]
 	inboxes := make([][]Envelope[M], k)
+	startStep := 0
 
-	runStep := func(step int) (outAll [][][]Envelope[M], produced int64) {
+	restore := func(snap *snapshot[M]) error {
+		if len(snap.Stats.WorkerTime) != k || len(snap.Stats.WorkerMessages) != k {
+			return fmt.Errorf("bsp: snapshot has %d workers, config has %d",
+				len(snap.Stats.WorkerTime), k)
+		}
+		recoveries := stats.Recoveries
+		*stats = snap.Stats
+		stats.Recoveries = recoveries
+		if stats.Counters == nil {
+			stats.Counters = map[string]int64{}
+		}
+		inboxes = snap.Inboxes
+		if inboxes == nil {
+			inboxes = make([][]Envelope[M], k)
+		}
+		return nil
+	}
+
+	if cfg.ResumeFrom != nil {
+		snap, err := loadSnapshot[M](cfg.ResumeFrom)
+		switch {
+		case errors.Is(err, ErrNoCheckpoint):
+			// Empty store: fresh start.
+		case err != nil:
+			return nil, fmt.Errorf("bsp: resume: %w", err)
+		default:
+			if err := restore(snap); err != nil {
+				return nil, fmt.Errorf("bsp: resume: %w", err)
+			}
+			startStep = snap.Step
+		}
+	}
+
+	runStep := func(stepCtx context.Context, step int) (outAll [][][]Envelope[M], produced int64) {
 		outAll = make([][][]Envelope[M], k)
 		stepTimes := make([]time.Duration, k)
 		counterSets := make([]map[string]int64, k)
 		var wg sync.WaitGroup
 		var producedAtomic atomic.Int64
+		done := stepCtx.Done()
 		for w := 0; w < k; w++ {
 			wg.Add(1)
 			go func(w int) {
@@ -185,18 +274,33 @@ func Run[M any](cfg Config, prog Program[M]) (*RunStats, error) {
 					aborted: &abortPtr,
 				}
 				start := time.Now()
+				processed := int64(0)
 				if step == 0 {
 					prog.Init(ctx)
 				} else {
-					for _, env := range inboxes[w] {
+				inbox:
+					for i, env := range inboxes[w] {
+						// An abort (or cancellation) short-circuits the rest
+						// of this worker's inbox instead of draining it.
+						if abortPtr.Load() != nil {
+							break
+						}
+						if i&255 == 0 {
+							select {
+							case <-done:
+								break inbox
+							default:
+							}
+						}
 						prog.Process(ctx, env)
+						processed++
 					}
 				}
 				stepTimes[w] = time.Since(start)
 				outAll[w] = ctx.out
 				counterSets[w] = ctx.local
 				producedAtomic.Add(ctx.sent)
-				stats.WorkerMessages[w] += int64(len(inboxes[w]))
+				stats.WorkerMessages[w] += processed
 			}(w)
 		}
 		wg.Wait()
@@ -210,47 +314,119 @@ func Run[M any](cfg Config, prog Program[M]) (*RunStats, error) {
 		return outAll, producedAtomic.Load()
 	}
 
-	for step := 0; ; step++ {
-		if step > maxSteps {
+	// recoverRun handles a failed superstep: rebuild the exchange from its
+	// factory (for TCP this is the reconnect) and restore the latest
+	// checkpoint — or restart from scratch when none exists yet. It returns
+	// the superstep to resume from, or the error that fails the run.
+	recoverRun := func(step int, cause error) (int, error) {
+		if ctx.Err() != nil || cfg.CheckpointStore == nil || stats.Recoveries >= cfg.MaxRecoveries {
+			return 0, cause
+		}
+		stats.Recoveries++
+		exchange.Close()
+		next, err := buildExchange()
+		if err != nil {
+			return 0, fmt.Errorf("rebuilding exchange after step %d: %v (original failure: %w)", step, err, cause)
+		}
+		exchange = next
+		snap, err := loadSnapshot[M](cfg.CheckpointStore)
+		switch {
+		case errors.Is(err, ErrNoCheckpoint):
+			// No barrier snapshot yet: restart from scratch.
+			recoveries := stats.Recoveries
+			stats = newStats()
+			stats.Recoveries = recoveries
+			inboxes = make([][]Envelope[M], k)
+			return 0, nil
+		case err != nil:
+			return 0, fmt.Errorf("loading checkpoint after step %d: %v (original failure: %w)", step, err, cause)
+		default:
+			if err := restore(snap); err != nil {
+				return 0, err
+			}
+			return snap.Step, nil
+		}
+	}
+
+	for step := startStep; ; step++ {
+		if err := ctx.Err(); err != nil {
+			return stats, fmt.Errorf("bsp: run canceled at step %d: %w", step, err)
+		}
+		if step >= maxSteps {
 			return stats, fmt.Errorf("bsp: exceeded %d supersteps", maxSteps)
 		}
-		outAll, produced := runStep(step)
+		stepCtx, cancel := ctx, func() {}
+		if cfg.StepTimeout > 0 {
+			stepCtx, cancel = context.WithTimeout(ctx, cfg.StepTimeout)
+		}
+		outAll, produced := runStep(stepCtx, step)
 		stats.Supersteps = step + 1
 		stats.PerStepMessages = append(stats.PerStepMessages, produced)
 		stats.MessagesTotal += produced
 		if errp := abortPtr.Load(); errp != nil {
+			cancel()
 			return stats, fmt.Errorf("%w: %v", ErrAborted, *errp)
 		}
+		if err := stepCtx.Err(); err != nil {
+			cancel()
+			resume, rerr := recoverRun(step, fmt.Errorf("superstep %d interrupted: %w", step, err))
+			if rerr != nil {
+				return stats, fmt.Errorf("bsp: %w", rerr)
+			}
+			step = resume - 1
+			continue
+		}
 		if produced == 0 {
+			cancel()
 			return stats, nil
 		}
-		next, err := exchange.Exchange(step, outAll)
-		if err != nil {
-			return stats, fmt.Errorf("bsp: exchange failed at step %d: %w", step, err)
+		var next [][]Envelope[M]
+		exErr := withRetry(stepCtx, cfg.Retry, func() error {
+			n, err := exchange.Exchange(stepCtx, step, outAll)
+			if err == nil {
+				next = n
+			}
+			return err
+		})
+		cancel()
+		if exErr != nil {
+			resume, rerr := recoverRun(step, fmt.Errorf("exchange failed at step %d: %w", step, exErr))
+			if rerr != nil {
+				return stats, fmt.Errorf("bsp: %w", rerr)
+			}
+			step = resume - 1
+			continue
 		}
 		inboxes = next
+		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
+			if err := saveSnapshot[M](cfg.CheckpointStore, step+1, inboxes, stats); err != nil {
+				return stats, fmt.Errorf("bsp: checkpoint at step %d: %w", step+1, err)
+			}
+		}
 	}
 }
 
 // Exchange moves each superstep's outgoing buffers to the destination
 // workers' inboxes. outAll[src][dst] holds src's messages for dst; the result
-// res[dst] is the concatenation over all sources.
+// res[dst] is the concatenation over all sources. Implementations must either
+// deliver the full barrier or return an error having delivered nothing
+// observable — Run retries and recovers at that granularity.
 type Exchange[M any] interface {
-	Exchange(step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error)
+	Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error)
 	Close() error
 }
 
 // ExchangeFactory builds an exchange for a given worker count without
 // exposing the message type parameter in Config. Implementations are
-// provided by this package (NewTCPExchangeFactory); the zero value of
-// Config uses the in-process exchange.
+// provided by this package (NewTCPExchangeFactory, NewFaultyExchangeFactory);
+// the zero value of Config uses the in-process exchange.
 type ExchangeFactory interface {
 	kind() string
 }
 
 type localExchange[M any] struct{}
 
-func (localExchange[M]) Exchange(_ int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+func (localExchange[M]) Exchange(_ context.Context, _ int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
 	k := len(outAll)
 	res := make([][]Envelope[M], k)
 	for dst := 0; dst < k; dst++ {

@@ -3,6 +3,7 @@ package bsp
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -136,14 +137,27 @@ func TestAbortStopsRun(t *testing.T) {
 }
 
 func TestMaxSuperstepsGuard(t *testing.T) {
+	// An infinite program must run exactly MaxSupersteps supersteps — not
+	// MaxSupersteps+1 (the historical off-by-one).
+	var calls atomic.Int64
 	prog := &funcProgram[int]{
-		init:    func(ctx *Context[int]) { ctx.Send(0, 1) },
-		process: func(ctx *Context[int], env Envelope[int]) { ctx.Send(0, 1) },
+		init: func(ctx *Context[int]) { ctx.Send(0, 1) },
+		process: func(ctx *Context[int], env Envelope[int]) {
+			calls.Add(1)
+			ctx.Send(0, 1)
+		},
 	}
 	cfg := Config{Workers: 1, Owner: func(graph.VertexID) int { return 0 }, MaxSupersteps: 10}
-	_, err := Run[int](cfg, prog)
+	stats, err := Run[int](cfg, prog)
 	if err == nil {
 		t.Fatal("infinite program should hit the superstep guard")
+	}
+	if stats.Supersteps != 10 {
+		t.Fatalf("Supersteps = %d, want exactly 10", stats.Supersteps)
+	}
+	// Superstep 0 is Init; supersteps 1..9 each process one message.
+	if calls.Load() != 9 {
+		t.Fatalf("Process calls = %d, want exactly 9", calls.Load())
 	}
 }
 

@@ -1,0 +1,210 @@
+package bsp
+
+// Barrier checkpointing. The paper inherits fault tolerance from its
+// Pregel/Giraph substrate (Section 6): long multi-superstep enumerations
+// survive worker failures via snapshots aligned with superstep barriers. A
+// barrier is the only point where the global state collapses to "the next
+// supersteps's inboxes plus the merged run stats", so that pair is exactly
+// what a snapshot holds: restoring it and re-entering the superstep loop is
+// equivalent to never having failed, up to replayed side effects inside
+// Program implementations.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoCheckpoint reports that a store holds no snapshot yet.
+var ErrNoCheckpoint = errors.New("bsp: no checkpoint available")
+
+// CheckpointStore persists encoded barrier snapshots. Save replaces the
+// store's notion of "latest" with the given step; Load returns the latest
+// snapshot or ErrNoCheckpoint. Implementations must be safe for use by one
+// run at a time; MemCheckpointStore and FileCheckpointStore are additionally
+// safe for concurrent use.
+type CheckpointStore interface {
+	Save(step int, data []byte) error
+	Load() (step int, data []byte, err error)
+}
+
+// snapshot is the unit of checkpointing: the state of a run at the barrier
+// entering superstep Step.
+type snapshot[M any] struct {
+	Step    int
+	Inboxes [][]Envelope[M]
+	Stats   RunStats
+}
+
+func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats) error {
+	var buf bytes.Buffer
+	snap := snapshot[M]{Step: step, Inboxes: inboxes, Stats: *stats}
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	return store.Save(step, buf.Bytes())
+}
+
+func loadSnapshot[M any](store CheckpointStore) (*snapshot[M], error) {
+	step, data, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot[M]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode snapshot for step %d: %w", step, err)
+	}
+	// Gob omits zero-valued fields; re-materialize what restore expects.
+	if snap.Stats.Counters == nil {
+		snap.Stats.Counters = map[string]int64{}
+	}
+	return &snap, nil
+}
+
+// MemCheckpointStore keeps the latest snapshot in memory — the default for
+// single-process runs and tests.
+type MemCheckpointStore struct {
+	mu    sync.Mutex
+	step  int
+	data  []byte
+	saves int
+}
+
+// NewMemCheckpointStore returns an empty in-memory store.
+func NewMemCheckpointStore() *MemCheckpointStore { return &MemCheckpointStore{} }
+
+// Save retains a copy of data as the latest snapshot.
+func (s *MemCheckpointStore) Save(step int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step = step
+	s.data = append([]byte(nil), data...)
+	s.saves++
+	return nil
+}
+
+// Load returns the latest snapshot or ErrNoCheckpoint.
+func (s *MemCheckpointStore) Load() (int, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return 0, nil, ErrNoCheckpoint
+	}
+	return s.step, append([]byte(nil), s.data...), nil
+}
+
+// Saves reports how many snapshots have been written (for cadence tests).
+func (s *MemCheckpointStore) Saves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}
+
+// LatestStep reports the step of the latest snapshot (0 when empty).
+func (s *MemCheckpointStore) LatestStep() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step
+}
+
+// FileCheckpointStore persists snapshots as files in a directory, surviving
+// the process — the store to pair with Config.ResumeFrom across runs. Writes
+// go through a temp file plus rename, so a crash mid-save never corrupts the
+// latest snapshot; older snapshots are pruned after each successful save.
+type FileCheckpointStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+const checkpointSuffix = ".ckpt"
+
+// NewFileCheckpointStore opens (creating if needed) a directory-backed store.
+func NewFileCheckpointStore(dir string) (*FileCheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bsp: checkpoint dir: %w", err)
+	}
+	return &FileCheckpointStore{dir: dir}, nil
+}
+
+func (s *FileCheckpointStore) path(step int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("step-%012d%s", step, checkpointSuffix))
+}
+
+// Save atomically writes the snapshot for step and prunes older ones.
+func (s *FileCheckpointStore) Save(step int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("bsp: checkpoint save: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bsp: checkpoint save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bsp: checkpoint save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(step)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bsp: checkpoint save: %w", err)
+	}
+	steps, err := s.listSteps()
+	if err != nil {
+		return nil // pruning is best-effort
+	}
+	for _, old := range steps {
+		if old != step {
+			os.Remove(s.path(old))
+		}
+	}
+	return nil
+}
+
+// Load returns the snapshot with the highest step, or ErrNoCheckpoint.
+func (s *FileCheckpointStore) Load() (int, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	steps, err := s.listSteps()
+	if err != nil {
+		return 0, nil, fmt.Errorf("bsp: checkpoint load: %w", err)
+	}
+	if len(steps) == 0 {
+		return 0, nil, ErrNoCheckpoint
+	}
+	latest := steps[len(steps)-1]
+	data, err := os.ReadFile(s.path(latest))
+	if err != nil {
+		return 0, nil, fmt.Errorf("bsp: checkpoint load: %w", err)
+	}
+	return latest, data, nil
+}
+
+func (s *FileCheckpointStore) listSteps() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "step-") || !strings.HasSuffix(name, checkpointSuffix) {
+			continue
+		}
+		var step int
+		if _, err := fmt.Sscanf(name, "step-%d"+checkpointSuffix, &step); err != nil {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}

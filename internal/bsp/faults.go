@@ -1,0 +1,150 @@
+package bsp
+
+// Fault injection. Distributed subgraph listing treats failure tolerance as
+// a first-class requirement (Ren et al., "Fast and Robust Distributed
+// Subgraph Enumeration"; DDSL); to prove our recovery machinery actually
+// recovers, this file wraps any exchange in a deterministic fault injector.
+// Faults fire before the inner exchange touches the batch, so a failed
+// barrier delivers nothing observable — exactly the contract Run's retry and
+// checkpoint-restore paths recover from. A run with injected faults plus
+// retry/recovery must therefore produce byte-identical counts to a clean
+// run, and the recovery tests assert exactly that.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault marks every error produced by the fault injector, so
+// tests and callers can tell injected failures from real ones.
+var ErrInjectedFault = errors.New("bsp: injected fault")
+
+// FaultConfig parameterizes the injector. All draws come from a PRNG seeded
+// with Seed, so a given config produces the same fault schedule on every
+// run. Rates are probabilities in [0, 1] and are evaluated in order
+// error → drop → delay on a single draw per Exchange call.
+type FaultConfig struct {
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// ErrorRate is the probability an Exchange call fails with an injected
+	// transport error before anything is delivered.
+	ErrorRate float64
+	// DropRate is the probability the whole barrier batch is dropped. The
+	// loss is detected at the barrier (as Giraph detects worker failure at
+	// barriers) and surfaces as an error with nothing delivered.
+	DropRate float64
+	// DelayRate is the probability the call is delayed by a uniform random
+	// duration in [0, MaxDelay] without failing.
+	DelayRate float64
+	// MaxDelay bounds injected delays; 0 disables delays.
+	MaxDelay time.Duration
+	// FromStep suppresses faults for supersteps below it, letting runs make
+	// checkpointable progress before failures start.
+	FromStep int
+	// MaxFaults caps the number of injected errors plus drops (0 = no cap).
+	MaxFaults int
+}
+
+// NewFaultyExchangeFactory wraps inner (nil = the in-process exchange) in a
+// deterministic fault injector. The fault state — the PRNG stream and the
+// fault count — lives in the factory, not the exchange, so an exchange
+// rebuilt during checkpoint recovery continues the fault schedule where it
+// left off instead of deterministically replaying the same fault forever.
+func NewFaultyExchangeFactory(inner ExchangeFactory, fc FaultConfig) ExchangeFactory {
+	return faultyFactory{inner: inner, fc: fc, state: &faultyState{rng: newFaultRand(fc.Seed)}}
+}
+
+type faultyFactory struct {
+	inner ExchangeFactory
+	fc    FaultConfig
+	state *faultyState
+}
+
+func (faultyFactory) kind() string { return "faulty" }
+
+// faultyState is shared by every exchange built from one factory; the mutex
+// makes the draw-and-count step atomic (Run calls Exchange serially, but the
+// injector is also usable standalone).
+type faultyState struct {
+	mu     sync.Mutex
+	rng    *faultRand
+	faults int
+}
+
+func newFaultyExchange[M any](inner Exchange[M], fc FaultConfig, state *faultyState) Exchange[M] {
+	return &faultyExchange[M]{inner: inner, fc: fc, state: state}
+}
+
+type faultyExchange[M any] struct {
+	inner Exchange[M]
+	fc    FaultConfig
+	state *faultyState
+}
+
+// draw advances the shared fault stream once and decides this call's fate:
+// a non-nil error (injected fault) or a delay to sleep before delivering.
+func (f *faultyExchange[M]) draw(step int) (error, time.Duration) {
+	st := f.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := st.rng.float64v()
+	if step < f.fc.FromStep {
+		return nil, 0
+	}
+	canFault := f.fc.MaxFaults == 0 || st.faults < f.fc.MaxFaults
+	switch {
+	case canFault && r < f.fc.ErrorRate:
+		st.faults++
+		return fmt.Errorf("%w: transport error at step %d (fault #%d)", ErrInjectedFault, step, st.faults), 0
+	case canFault && r < f.fc.ErrorRate+f.fc.DropRate:
+		st.faults++
+		return fmt.Errorf("%w: batch dropped at step %d, detected at barrier (fault #%d)", ErrInjectedFault, step, st.faults), 0
+	case r < f.fc.ErrorRate+f.fc.DropRate+f.fc.DelayRate && f.fc.MaxDelay > 0:
+		return nil, time.Duration(st.rng.float64v() * float64(f.fc.MaxDelay))
+	}
+	return nil, 0
+}
+
+func (f *faultyExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+	fault, delay := f.draw(step)
+	if fault != nil {
+		return nil, fault
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	return f.inner.Exchange(ctx, step, outAll)
+}
+
+func (f *faultyExchange[M]) Close() error { return f.inner.Close() }
+
+// faultRand is a tiny xorshift PRNG: deterministic, dependency-free, and
+// independent of math/rand's global state.
+type faultRand struct{ state uint64 }
+
+func newFaultRand(seed int64) *faultRand {
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	return &faultRand{state: s}
+}
+
+func (r *faultRand) next() uint64 {
+	s := r.state
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	r.state = s
+	return s
+}
+
+func (r *faultRand) float64v() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,66 @@
+package bsp
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds exponential backoff around per-superstep Exchange
+// calls. Exchanges are barrier-atomic (deliver everything or error having
+// delivered nothing observable), so a failed call is safe to re-issue with
+// the same outgoing buffers.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, first try included.
+	// 0 and 1 both mean a single attempt (no retry).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry, doubled after each
+	// failure. 0 means 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry sleep. 0 means 100ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// withRetry runs op up to p.MaxAttempts times with exponential backoff,
+// stopping early when ctx is done.
+func withRetry(ctx context.Context, p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	backoff := p.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxAttempts || ctx.Err() != nil {
+			if attempt > 1 {
+				return fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return err
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("canceled while backing off after attempt %d: %w", attempt, err)
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package bsp
+
+// Tests for the fault-tolerance layer: abort short-circuiting, context
+// cancellation, superstep deadlines, barrier checkpointing + resume,
+// in-run checkpoint-restore recovery, exchange retry, deterministic fault
+// injection, and the hardened TCP setup/frame deadlines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psgl/internal/graph"
+)
+
+// --- Abort short-circuit -------------------------------------------------
+
+func TestAbortShortCircuitsInbox(t *testing.T) {
+	// One worker, 100 queued messages, abort on the first: the remaining 99
+	// must not be processed in that superstep.
+	var processed atomic.Int64
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) {
+			for i := 0; i < 100; i++ {
+				ctx.Send(0, i)
+			}
+		},
+		process: func(ctx *Context[int], env Envelope[int]) {
+			processed.Add(1)
+			ctx.Abort(errors.New("stop now"))
+		},
+	}
+	cfg := Config{Workers: 1, Owner: func(graph.VertexID) int { return 0 }}
+	stats, err := Run[int](cfg, prog)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if got := processed.Load(); got != 1 {
+		t.Fatalf("processed %d messages after abort, want exactly 1", got)
+	}
+	if stats.WorkerMessages[0] != 1 {
+		t.Fatalf("WorkerMessages[0] = %d, want 1 (only processed messages count)", stats.WorkerMessages[0])
+	}
+}
+
+// --- Cancellation and deadlines ------------------------------------------
+
+func TestRunContextCancellation(t *testing.T) {
+	// An infinite program must stop promptly once the context expires.
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) {
+			for v := 0; v < 1000; v++ {
+				ctx.Send(graph.VertexID(v), 0)
+			}
+		},
+		process: func(ctx *Context[int], env Envelope[int]) {
+			ctx.Send(env.Dest, 0)
+		},
+	}
+	part := graph.NewPartition(3, 1)
+	cfg := Config{Workers: 3, Owner: func(v graph.VertexID) int { return part.Owner(v) }}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext[int](ctx, cfg, prog)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestStepTimeoutFailsRunWithoutCheckpoints(t *testing.T) {
+	// A superstep blowing its deadline fails the run when no checkpoint
+	// recovery is configured.
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) {
+			for i := 0; i < 2000; i++ {
+				ctx.Send(0, i)
+			}
+		},
+		process: func(ctx *Context[int], env Envelope[int]) {
+			time.Sleep(time.Millisecond)
+			ctx.Send(0, env.Msg)
+		},
+	}
+	cfg := Config{
+		Workers:     1,
+		Owner:       func(graph.VertexID) int { return 0 },
+		StepTimeout: 50 * time.Millisecond,
+	}
+	_, err := Run[int](cfg, prog)
+	if err == nil {
+		t.Fatal("slow superstep with StepTimeout should fail the run")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}
+
+// --- Checkpointing -------------------------------------------------------
+
+func TestCheckpointCadence(t *testing.T) {
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(100, 5, 4)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointStore = store
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 supersteps (0..6); exchanges after steps 0..5; snapshots at barriers
+	// entering even steps 2, 4, 6.
+	if stats.Supersteps != 7 {
+		t.Fatalf("Supersteps = %d, want 7", stats.Supersteps)
+	}
+	if store.Saves() != 3 {
+		t.Fatalf("saves = %d, want 3 (every 2nd of 6 barriers)", store.Saves())
+	}
+	if store.LatestStep() != 6 {
+		t.Fatalf("latest checkpoint step = %d, want 6", store.LatestStep())
+	}
+	if stats.Counters["delivered"] != 600 {
+		t.Fatalf("delivered = %d, want 600 (checkpointing must not change results)", stats.Counters["delivered"])
+	}
+}
+
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	stores := map[string]CheckpointStore{
+		"mem": NewMemCheckpointStore(),
+	}
+	fileStore, err := NewFileCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["file"] = fileStore
+	for name, store := range stores {
+		if _, _, err := store.Load(); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("%s: empty Load err = %v, want ErrNoCheckpoint", name, err)
+		}
+		if err := store.Save(3, []byte("alpha")); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := store.Save(5, []byte("beta")); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		step, data, err := store.Load()
+		if err != nil || step != 5 || string(data) != "beta" {
+			t.Errorf("%s: Load = (%d, %q, %v), want (5, beta, nil)", name, step, data, err)
+		}
+	}
+}
+
+func TestFileCheckpointStorePersistsAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewFileCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files after pruning, want 1", len(entries))
+	}
+	// A fresh store over the same directory sees the latest snapshot.
+	reopened, err := NewFileCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, data, err := reopened.Load()
+	if err != nil || step != 2 || string(data) != "two" {
+		t.Fatalf("reopened Load = (%d, %q, %v), want (2, two, nil)", step, data, err)
+	}
+}
+
+func TestResumeFromCheckpointMatchesCleanRun(t *testing.T) {
+	clean := func() *RunStats {
+		prog, cfg := newEcho(60, 6, 3)
+		stats, err := Run[int](cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+
+	// Failed run: a one-shot injected fault kills the exchange at step 3,
+	// after the barrier entering step 3 was checkpointed.
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(60, 6, 3)
+	cfg.Exchange = NewFaultyExchangeFactory(nil, FaultConfig{Seed: 1, ErrorRate: 1, FromStep: 3, MaxFaults: 1})
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = store
+	_, err := Run[int](cfg, prog)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("faulty run err = %v, want ErrInjectedFault", err)
+	}
+	if store.LatestStep() != 3 {
+		t.Fatalf("latest checkpoint = %d, want 3", store.LatestStep())
+	}
+
+	// Resumed run: fresh program + clean exchange, state restored from the
+	// last barrier. Totals must match the clean run exactly.
+	prog2, cfg2 := newEcho(60, 6, 3)
+	cfg2.ResumeFrom = store
+	resumed, err := Run[int](cfg2, prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Supersteps != clean.Supersteps {
+		t.Errorf("Supersteps = %d, want %d", resumed.Supersteps, clean.Supersteps)
+	}
+	if resumed.MessagesTotal != clean.MessagesTotal {
+		t.Errorf("MessagesTotal = %d, want %d", resumed.MessagesTotal, clean.MessagesTotal)
+	}
+	if resumed.Counters["delivered"] != clean.Counters["delivered"] {
+		t.Errorf("delivered = %d, want %d", resumed.Counters["delivered"], clean.Counters["delivered"])
+	}
+	if !reflect.DeepEqual(resumed.PerStepMessages, clean.PerStepMessages) {
+		t.Errorf("PerStepMessages = %v, want %v", resumed.PerStepMessages, clean.PerStepMessages)
+	}
+}
+
+func TestResumeFromEmptyStoreStartsFresh(t *testing.T) {
+	prog, cfg := newEcho(50, 3, 2)
+	cfg.ResumeFrom = NewMemCheckpointStore()
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["delivered"] != 200 {
+		t.Fatalf("delivered = %d, want 200", stats.Counters["delivered"])
+	}
+}
+
+func TestResumeRejectsWorkerMismatch(t *testing.T) {
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(60, 6, 3)
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = store
+	if _, err := Run[int](cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	prog2, cfg2 := newEcho(60, 6, 2) // different worker count
+	cfg2.ResumeFrom = store
+	if _, err := Run[int](cfg2, prog2); err == nil {
+		t.Fatal("resume with mismatched worker count should fail")
+	}
+}
+
+// --- In-run recovery and retry -------------------------------------------
+
+func TestInRunRecoveryDeterministicFaults(t *testing.T) {
+	clean := func() *RunStats {
+		prog, cfg := newEcho(60, 5, 3)
+		stats, err := Run[int](cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+
+	// Exactly 3 injected faults at step 1; each one triggers a checkpoint
+	// restore, and the 4th attempt goes through.
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(60, 5, 3)
+	cfg.Exchange = NewFaultyExchangeFactory(nil, FaultConfig{Seed: 2, ErrorRate: 1, FromStep: 1, MaxFaults: 3})
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = store
+	cfg.MaxRecoveries = 10
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recoveries != 3 {
+		t.Errorf("Recoveries = %d, want 3", stats.Recoveries)
+	}
+	if stats.Counters["delivered"] != clean.Counters["delivered"] {
+		t.Errorf("delivered = %d, want %d", stats.Counters["delivered"], clean.Counters["delivered"])
+	}
+	if stats.MessagesTotal != clean.MessagesTotal {
+		t.Errorf("MessagesTotal = %d, want %d", stats.MessagesTotal, clean.MessagesTotal)
+	}
+	if !reflect.DeepEqual(stats.PerStepMessages, clean.PerStepMessages) {
+		t.Errorf("PerStepMessages = %v, want %v", stats.PerStepMessages, clean.PerStepMessages)
+	}
+}
+
+func TestInRunRecoveryStochasticFaults(t *testing.T) {
+	clean := func() *RunStats {
+		prog, cfg := newEcho(80, 6, 4)
+		stats, err := Run[int](cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+
+	// Unlimited seeded faults (errors + drops) recovered by restore alone:
+	// the schedule is deterministic, so this either always passes or never.
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(80, 6, 4)
+	cfg.Exchange = NewFaultyExchangeFactory(nil, FaultConfig{Seed: 7, ErrorRate: 0.3, DropRate: 0.2, FromStep: 1})
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = store
+	cfg.MaxRecoveries = 200
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["delivered"] != clean.Counters["delivered"] {
+		t.Errorf("delivered = %d, want %d", stats.Counters["delivered"], clean.Counters["delivered"])
+	}
+}
+
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	clean := func() *RunStats {
+		prog, cfg := newEcho(60, 5, 3)
+		stats, err := Run[int](cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+
+	prog, cfg := newEcho(60, 5, 3)
+	cfg.Exchange = NewFaultyExchangeFactory(nil, FaultConfig{Seed: 3, ErrorRate: 0.4, DropRate: 0.1})
+	cfg.Retry = RetryPolicy{MaxAttempts: 12, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recoveries != 0 {
+		t.Errorf("Recoveries = %d, want 0 (retry alone must absorb the faults)", stats.Recoveries)
+	}
+	if stats.Counters["delivered"] != clean.Counters["delivered"] {
+		t.Errorf("delivered = %d, want %d", stats.Counters["delivered"], clean.Counters["delivered"])
+	}
+	if !reflect.DeepEqual(stats.PerStepMessages, clean.PerStepMessages) {
+		t.Errorf("PerStepMessages = %v, want %v", stats.PerStepMessages, clean.PerStepMessages)
+	}
+}
+
+func TestFaultScheduleIsDeterministic(t *testing.T) {
+	fc := FaultConfig{Seed: 99, ErrorRate: 0.3, DropRate: 0.2}
+	schedule := func() []bool {
+		ex, err := newExchangeFromFactory[int](NewFaultyExchangeFactory(nil, fc), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ex.Close()
+		empty := [][][]Envelope[int]{
+			{nil, nil},
+			{nil, nil},
+		}
+		var out []bool
+		for step := 0; step < 50; step++ {
+			_, err := ex.Exchange(context.Background(), step, empty)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault schedules differ:\n%v\n%v", a, b)
+	}
+	faults := 0
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == 50 {
+		t.Fatalf("degenerate fault schedule: %d/50 faults", faults)
+	}
+}
+
+// --- Hardened TCP setup --------------------------------------------------
+
+func TestTCPSetupFailedDialDoesNotDeadlock(t *testing.T) {
+	// Regression: a failed dial used to leave the Accept goroutine waiting
+	// forever for the full mesh, deadlocking setup. It must now fail fast —
+	// well before the (generous) setup deadline.
+	testDialHook = func(src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
+		if src == 1 && dst == 0 {
+			return nil, fmt.Errorf("injected dial failure")
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	defer func() { testDialHook = nil }()
+
+	start := time.Now()
+	_, err := newExchangeFromFactory[int](
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("setup with a failed dial should error")
+	}
+	if want := "dial 1->0"; !containsStr(err.Error(), want) {
+		t.Fatalf("err = %v, want the root-cause dial error (%q)", err, want)
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("setup took %v; a failed dial must fail fast, not wait for the deadline", elapsed)
+	}
+}
+
+func TestTCPSetupTimesOutOnSilentPeer(t *testing.T) {
+	// One pair dials a black hole (a listener that never reaches the
+	// exchange), so one mesh connection never arrives: the Accept loop must
+	// give up at the setup deadline instead of blocking forever.
+	decoy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer decoy.Close()
+	testDialHook = func(src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
+		if src == 0 && dst == 1 {
+			return net.DialTimeout("tcp", decoy.Addr().String(), timeout)
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	defer func() { testDialHook = nil }()
+
+	start := time.Now()
+	_, err = newExchangeFromFactory[int](
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 2 * time.Second}), 2)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("setup with a silent peer should time out")
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("setup took %v, want ~the 2s deadline", elapsed)
+	}
+}
+
+// pastDeadlineCtx reports an already-expired deadline without being Done,
+// forcing the frame-deadline plumbing (not the early ctx.Err check) to trip.
+type pastDeadlineCtx struct{ context.Context }
+
+func (pastDeadlineCtx) Deadline() (time.Time, bool) {
+	return time.Now().Add(-time.Second), true
+}
+
+func TestTCPExchangeHonorsContextDeadlineOnFrames(t *testing.T) {
+	ex, err := newExchangeFromFactory[int](NewTCPExchangeFactory(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	outAll := [][][]Envelope[int]{
+		{nil, {{Dest: 1, Msg: 42}}},
+		{{{Dest: 0, Msg: 24}}, nil},
+	}
+	_, err = ex.Exchange(pastDeadlineCtx{context.Background()}, 0, outAll)
+	if err == nil {
+		t.Fatal("exchange with an expired frame deadline should error")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want os.ErrDeadlineExceeded", err)
+	}
+}
+
+// --- Exchange equivalence property ---------------------------------------
+
+func TestExchangeEquivalenceProperty(t *testing.T) {
+	// Local, TCP, and faulty-with-retry exchanges must deliver identical
+	// merged inboxes for random workloads.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		k := 2 + rng.Intn(3)
+		outAll := make([][][]Envelope[int], k)
+		for src := 0; src < k; src++ {
+			outAll[src] = make([][]Envelope[int], k)
+			for dst := 0; dst < k; dst++ {
+				n := rng.Intn(8)
+				for i := 0; i < n; i++ {
+					outAll[src][dst] = append(outAll[src][dst],
+						Envelope[int]{Dest: graph.VertexID(rng.Intn(100)), Msg: rng.Int()})
+				}
+			}
+		}
+		factories := []struct {
+			name string
+			f    ExchangeFactory
+		}{
+			{"local", nil},
+			{"tcp", NewTCPExchangeFactory()},
+			{"faulty", NewFaultyExchangeFactory(nil, FaultConfig{
+				Seed: int64(trial), ErrorRate: 0.4, DropRate: 0.1,
+				DelayRate: 0.2, MaxDelay: time.Millisecond,
+			})},
+		}
+		var want [][]Envelope[int]
+		for _, fc := range factories {
+			ex, err := newExchangeFromFactory[int](fc.f, k)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, fc.name, err)
+			}
+			var got [][]Envelope[int]
+			err = withRetry(context.Background(), RetryPolicy{MaxAttempts: 40, BaseBackoff: time.Microsecond}, func() error {
+				r, err := ex.Exchange(context.Background(), 1, outAll)
+				if err == nil {
+					got = r
+				}
+				return err
+			})
+			ex.Close()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, fc.name, err)
+			}
+			got = normalizeInboxes(got)
+			if fc.name == "local" {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d: %s inboxes differ from local:\n%v\n%v", trial, fc.name, got, want)
+			}
+		}
+	}
+}
+
+// normalizeInboxes maps nil inboxes to empty ones so DeepEqual compares
+// content, not nil-ness.
+func normalizeInboxes(in [][]Envelope[int]) [][]Envelope[int] {
+	out := make([][]Envelope[int], len(in))
+	for i, box := range in {
+		if box == nil {
+			box = []Envelope[int]{}
+		}
+		out[i] = box
+	}
+	return out
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,11 +1,42 @@
 package bsp
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// TCPConfig tunes the hardened loopback TCP exchange. The zero value gets
+// conservative defaults; every timeout exists so that a partial failure
+// surfaces as an error instead of a hang.
+type TCPConfig struct {
+	// DialTimeout bounds each mesh dial. 0 means 5s.
+	DialTimeout time.Duration
+	// SetupTimeout bounds the whole K×K mesh setup — accepts plus
+	// handshakes. A failed dial additionally closes the listener so setup
+	// fails fast rather than waiting the timeout out. 0 means 15s.
+	SetupTimeout time.Duration
+	// FrameTimeout is the per-frame read/write deadline during Exchange; a
+	// context with an earlier deadline wins. 0 means 30s.
+	FrameTimeout time.Duration
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.SetupTimeout <= 0 {
+		c.SetupTimeout = 15 * time.Second
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = 30 * time.Second
+	}
+	return c
+}
 
 // NewTCPExchangeFactory returns an ExchangeFactory that routes every
 // inter-worker message batch through real loopback TCP connections with gob
@@ -13,17 +44,34 @@ import (
 // the paper ran on. Messages between a worker and itself skip the network,
 // mirroring how Giraph delivers local messages in memory.
 //
-// The message type M must be gob-encodable (exported fields).
+// The message type M must be gob-encodable (exported fields). Setup, the
+// handshakes, and every frame are bounded by TCPConfig deadlines (defaults
+// here); a mesh failure therefore surfaces as an error at the barrier,
+// where Run's retry and checkpoint-restore machinery can recover it.
 func NewTCPExchangeFactory() ExchangeFactory { return tcpFactory{} }
 
-type tcpFactory struct{}
+// NewTCPExchangeFactoryWithConfig is NewTCPExchangeFactory with explicit
+// timeouts.
+func NewTCPExchangeFactoryWithConfig(cfg TCPConfig) ExchangeFactory {
+	return tcpFactory{cfg: cfg}
+}
+
+type tcpFactory struct{ cfg TCPConfig }
 
 func (tcpFactory) kind() string { return "tcp" }
 
 func newExchangeFromFactory[M any](f ExchangeFactory, workers int) (Exchange[M], error) {
-	switch f.(type) {
+	switch ff := f.(type) {
+	case nil:
+		return localExchange[M]{}, nil
 	case tcpFactory:
-		return newTCPExchange[M](workers)
+		return newTCPExchange[M](workers, ff.cfg.withDefaults())
+	case faultyFactory:
+		inner, err := newExchangeFromFactory[M](ff.inner, workers)
+		if err != nil {
+			return nil, err
+		}
+		return newFaultyExchange[M](inner, ff.fc, ff.state), nil
 	default:
 		return nil, fmt.Errorf("bsp: unknown exchange factory %q", f.kind())
 	}
@@ -37,31 +85,67 @@ type frame[M any] struct {
 
 type tcpExchange[M any] struct {
 	workers  int
+	cfg      TCPConfig
 	listener net.Listener
 	// enc[src][dst] / dec[dst][src] wrap the K×K mesh (nil on the diagonal).
-	enc   [][]*gob.Encoder
-	dec   [][]*gob.Decoder
-	conns []net.Conn
+	// connOut/connIn hold the matching conns so Exchange can arm per-frame
+	// deadlines on them.
+	enc     [][]*gob.Encoder
+	dec     [][]*gob.Decoder
+	connOut [][]net.Conn
+	connIn  [][]net.Conn
 }
 
-func newTCPExchange[M any](workers int) (Exchange[M], error) {
+// testDialHook, when non-nil, replaces the mesh dialer. Tests use it to
+// inject dial failures and black-hole peers.
+var testDialHook func(src, dst int, addr string, timeout time.Duration) (net.Conn, error)
+
+func dialPair(src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
+	if testDialHook != nil {
+		return testDialHook(src, dst, addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
 	}
-	ex := &tcpExchange[M]{workers: workers, listener: ln}
+	ex := &tcpExchange[M]{workers: workers, cfg: cfg, listener: ln}
 	ex.enc = make([][]*gob.Encoder, workers)
 	ex.dec = make([][]*gob.Decoder, workers)
+	ex.connOut = make([][]net.Conn, workers)
+	ex.connIn = make([][]net.Conn, workers)
 	for i := 0; i < workers; i++ {
 		ex.enc[i] = make([]*gob.Encoder, workers)
 		ex.dec[i] = make([]*gob.Decoder, workers)
+		ex.connOut[i] = make([]net.Conn, workers)
+		ex.connIn[i] = make([]net.Conn, workers)
+	}
+
+	deadline := time.Now().Add(cfg.SetupTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		// Accept can never block past the setup deadline.
+		tl.SetDeadline(deadline)
 	}
 
 	type handshake struct{ Src, Dst int }
 	nPairs := workers*workers - workers
-	errs := make(chan error, 2*nPairs)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	// fail records the error and closes the listener, so the Accept loop
+	// unblocks immediately instead of waiting forever for connections that
+	// will never arrive (the pre-hardening deadlock).
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+		ln.Close()
+	}
 
 	// Server side: accept one connection per ordered pair, identify it by
 	// the handshake, and keep its decoder on the destination side.
@@ -71,19 +155,35 @@ func newTCPExchange[M any](workers int) (Exchange[M], error) {
 		for i := 0; i < nPairs; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				errs <- err
+				fail(fmt.Errorf("accept: %w", err))
 				return
 			}
+			conn.SetReadDeadline(deadline)
 			dec := gob.NewDecoder(conn)
 			var hs handshake
 			if err := dec.Decode(&hs); err != nil {
-				errs <- fmt.Errorf("handshake decode: %w", err)
+				conn.Close()
+				fail(fmt.Errorf("handshake decode: %w", err))
 				return
 			}
+			if hs.Src < 0 || hs.Src >= workers || hs.Dst < 0 || hs.Dst >= workers || hs.Src == hs.Dst {
+				conn.Close()
+				fail(fmt.Errorf("handshake names invalid pair %d->%d", hs.Src, hs.Dst))
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
 			mu.Lock()
-			ex.dec[hs.Dst][hs.Src] = dec
-			ex.conns = append(ex.conns, conn)
+			dup := ex.dec[hs.Dst][hs.Src] != nil
+			if !dup {
+				ex.dec[hs.Dst][hs.Src] = dec
+				ex.connIn[hs.Dst][hs.Src] = conn
+			}
 			mu.Unlock()
+			if dup {
+				conn.Close()
+				fail(fmt.Errorf("duplicate handshake for pair %d->%d", hs.Src, hs.Dst))
+				return
+			}
 		}
 	}()
 
@@ -97,35 +197,72 @@ func newTCPExchange[M any](workers int) (Exchange[M], error) {
 			wg.Add(1)
 			go func(src, dst int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", addr)
+				conn, err := dialPair(src, dst, addr, cfg.DialTimeout)
 				if err != nil {
-					errs <- err
+					fail(fmt.Errorf("dial %d->%d: %w", src, dst, err))
 					return
 				}
+				conn.SetWriteDeadline(deadline)
 				enc := gob.NewEncoder(conn)
 				if err := enc.Encode(handshake{Src: src, Dst: dst}); err != nil {
-					errs <- fmt.Errorf("handshake encode: %w", err)
+					conn.Close()
+					fail(fmt.Errorf("handshake encode %d->%d: %w", src, dst, err))
 					return
 				}
+				conn.SetWriteDeadline(time.Time{})
 				mu.Lock()
 				ex.enc[src][dst] = enc
-				ex.conns = append(ex.conns, conn)
+				ex.connOut[src][dst] = conn
 				mu.Unlock()
 			}(src, dst)
 		}
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
+	mu.Lock()
+	err = firstSetupError(errs)
+	mu.Unlock()
+	if err == nil {
+		// Belt and braces: every off-diagonal endpoint must be wired.
+		for src := 0; src < workers && err == nil; src++ {
+			for dst := 0; dst < workers; dst++ {
+				if src != dst && (ex.enc[src][dst] == nil || ex.dec[dst][src] == nil) {
+					err = fmt.Errorf("mesh incomplete: pair %d->%d never connected", src, dst)
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
 		ex.Close()
 		return nil, fmt.Errorf("bsp: tcp exchange setup: %w", err)
-	default:
 	}
 	return ex, nil
 }
 
-func (ex *tcpExchange[M]) Exchange(step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+// firstSetupError picks the root cause: a listener closed by fail() makes
+// the Accept loop report net.ErrClosed too, which would otherwise mask the
+// dial or handshake error that triggered the shutdown.
+func firstSetupError(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	for _, err := range errs {
+		if !errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+	return errs[0]
+}
+
+func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k := ex.workers
+	deadline := time.Now().Add(ex.cfg.FrameTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	res := make([][]Envelope[M], k)
 	errs := make(chan error, 2*k)
 	var wg sync.WaitGroup
@@ -139,6 +276,7 @@ func (ex *tcpExchange[M]) Exchange(step int, outAll [][][]Envelope[M]) ([][]Enve
 				if dst == src {
 					continue
 				}
+				ex.connOut[src][dst].SetWriteDeadline(deadline)
 				if err := ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: outAll[src][dst]}); err != nil {
 					errs <- fmt.Errorf("send %d->%d: %w", src, dst, err)
 					return
@@ -146,17 +284,20 @@ func (ex *tcpExchange[M]) Exchange(step int, outAll [][][]Envelope[M]) ([][]Enve
 			}
 		}(src)
 	}
-	// Receivers: each worker reads K-1 remote batches and merges its own
-	// local batch directly.
+	// Receivers: each worker reads K-1 remote batches and splices its own
+	// local batch in at its source position, so the merged inbox order is
+	// byte-identical to the in-process exchange's.
 	for dst := 0; dst < k; dst++ {
 		wg.Add(1)
 		go func(dst int) {
 			defer wg.Done()
-			buf := append([]Envelope[M](nil), outAll[dst][dst]...)
+			var buf []Envelope[M]
 			for src := 0; src < k; src++ {
 				if src == dst {
+					buf = append(buf, outAll[dst][dst]...)
 					continue
 				}
+				ex.connIn[dst][src].SetReadDeadline(deadline)
 				var fr frame[M]
 				if err := ex.dec[dst][src].Decode(&fr); err != nil {
 					errs <- fmt.Errorf("recv %d<-%d: %w", dst, src, err)
@@ -181,8 +322,19 @@ func (ex *tcpExchange[M]) Exchange(step int, outAll [][][]Envelope[M]) ([][]Enve
 }
 
 func (ex *tcpExchange[M]) Close() error {
-	for _, c := range ex.conns {
-		c.Close()
+	for _, row := range ex.connOut {
+		for _, c := range row {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for _, row := range ex.connIn {
+		for _, c := range row {
+			if c != nil {
+				c.Close()
+			}
+		}
 	}
 	if ex.listener != nil {
 		return ex.listener.Close()

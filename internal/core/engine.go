@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,13 @@ import (
 // are broken first, so every instance is found exactly once regardless of how
 // p was constructed.
 func Run(g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
+	return RunContext(context.Background(), g, p, opts)
+}
+
+// RunContext is Run with cancellation and fault-tolerance plumbing: ctx
+// cancellation stops the run at the next message boundary, and the Options
+// checkpoint/retry/recovery fields configure the BSP engine's fault layer.
+func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
 	if g == nil || p == nil {
 		return nil, fmt.Errorf("psgl: nil graph or pattern")
 	}
@@ -60,13 +68,19 @@ func Run(g *graph.Graph, p *pattern.Pattern, opts Options) (*Result, error) {
 	}
 
 	cfg := bsp.Config{
-		Workers:       opts.Workers,
-		Owner:         func(v graph.VertexID) int { return e.part.Owner(v) },
-		MaxSupersteps: opts.MaxSupersteps,
-		Exchange:      opts.Exchange,
+		Workers:         opts.Workers,
+		Owner:           func(v graph.VertexID) int { return e.part.Owner(v) },
+		MaxSupersteps:   opts.MaxSupersteps,
+		Exchange:        opts.Exchange,
+		StepTimeout:     opts.StepTimeout,
+		Retry:           opts.Retry,
+		CheckpointEvery: opts.CheckpointEvery,
+		CheckpointStore: opts.CheckpointStore,
+		ResumeFrom:      opts.ResumeFrom,
+		MaxRecoveries:   opts.MaxRecoveries,
 	}
 	start := time.Now()
-	runStats, err := bsp.Run[gpsi](cfg, e)
+	runStats, err := bsp.RunContext[gpsi](ctx, cfg, e)
 	wall := time.Since(start)
 	if err != nil {
 		if oom := e.oomErr.Load(); oom != nil {
@@ -481,6 +495,7 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 		EdgeIndexQueries:    rs.Counters["index_queries"],
 		Results:             rs.Counters["results"],
 		InitialVertex:       e.initial,
+		Recoveries:          rs.Recoveries,
 		WorkerTime:          rs.WorkerTime,
 		WorkerMessages:      rs.WorkerMessages,
 		LoadUnits:           e.loads,

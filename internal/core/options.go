@@ -104,8 +104,36 @@ type Options struct {
 	// MaxSupersteps bounds the BSP run. 0 means the bsp default.
 	MaxSupersteps int
 	// Exchange overrides the BSP message exchange (e.g.
-	// bsp.NewTCPExchangeFactory() for loopback-TCP distribution).
+	// bsp.NewTCPExchangeFactory() for loopback-TCP distribution,
+	// bsp.NewFaultyExchangeFactory for fault-injected recovery testing).
 	Exchange bsp.ExchangeFactory
+
+	// Fault tolerance (mirrors the Giraph substrate's barrier-aligned
+	// checkpointing, Section 6). Counts and counters are exact across
+	// retries, recoveries, and resumes; Collect and OnInstance, however, see
+	// at-least-once delivery when a recovery replays supersteps (duplicate
+	// instances possible) and a resumed run only observes post-resume
+	// instances — use Result.Count, not len(Result.Instances), whenever
+	// recovery is enabled.
+
+	// StepTimeout bounds each superstep (compute plus exchange). 0 = none.
+	StepTimeout time.Duration
+	// Retry wraps every superstep exchange in bounded exponential backoff.
+	Retry bsp.RetryPolicy
+	// CheckpointEvery > 0 snapshots the BSP state into CheckpointStore at
+	// every Nth superstep barrier.
+	CheckpointEvery int
+	// CheckpointStore receives the snapshots (e.g. bsp.NewMemCheckpointStore
+	// or bsp.NewFileCheckpointStore); required when CheckpointEvery > 0.
+	CheckpointStore bsp.CheckpointStore
+	// ResumeFrom, when non-nil, resumes the run from the latest snapshot in
+	// the store instead of starting from scratch (an empty store falls back
+	// to a fresh start).
+	ResumeFrom bsp.CheckpointStore
+	// MaxRecoveries is how many failed supersteps may be recovered in-run by
+	// rebuilding the exchange and restoring the latest checkpoint. 0
+	// disables in-run recovery.
+	MaxRecoveries int
 }
 
 // NewOptions returns the defaults spelled out explicitly.
@@ -160,6 +188,9 @@ type Stats struct {
 	Results int64
 	// InitialVertex is the pattern vertex the run started from.
 	InitialVertex int
+	// Recoveries counts in-run checkpoint-restore recoveries (0 on a clean
+	// run; retries that succeeded without a restore are not counted).
+	Recoveries int
 	// Per-worker metrics (Figure 5): compute time and cost-model load units.
 	WorkerTime     []time.Duration
 	WorkerMessages []int64

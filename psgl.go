@@ -25,6 +25,7 @@
 package psgl
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -90,6 +91,15 @@ func List(g *Graph, p *Pattern, opts Options) (*Result, error) {
 	return core.Run(g, p, opts)
 }
 
+// ListContext is List with cancellation: the run stops at the next message
+// boundary once ctx is done, and ctx deadlines bound the exchange's network
+// operations. Combined with the Options fault-tolerance fields (StepTimeout,
+// Retry, CheckpointEvery/CheckpointStore, ResumeFrom, MaxRecoveries) it is
+// the entry point for long-running, failure-prone enumerations.
+func ListContext(ctx context.Context, g *Graph, p *Pattern, opts Options) (*Result, error) {
+	return core.RunContext(ctx, g, p, opts)
+}
+
 // Count is List without instance collection, returning only the number of
 // instances.
 func Count(g *Graph, p *Pattern, opts Options) (int64, error) {
@@ -105,6 +115,45 @@ func Count(g *Graph, p *Pattern, opts Options) (int64, error) {
 // inter-worker batch through loopback TCP with gob encoding; assign it to
 // Options.Exchange for distributed-execution realism.
 func NewTCPExchange() bsp.ExchangeFactory { return bsp.NewTCPExchangeFactory() }
+
+// Fault tolerance (the Giraph-style barrier checkpointing the paper's
+// substrate provides, Section 6). See Options for how these compose.
+type (
+	// ExchangeFactory builds a BSP message exchange; assign one to
+	// Options.Exchange.
+	ExchangeFactory = bsp.ExchangeFactory
+	// RetryPolicy bounds exponential backoff around superstep exchanges.
+	RetryPolicy = bsp.RetryPolicy
+	// FaultConfig parameterizes the deterministic fault-injection exchange.
+	FaultConfig = bsp.FaultConfig
+	// CheckpointStore persists barrier snapshots for recovery and resume.
+	CheckpointStore = bsp.CheckpointStore
+	// TCPConfig tunes the TCP exchange's dial/setup/frame deadlines.
+	TCPConfig = bsp.TCPConfig
+)
+
+// NewTCPExchangeWithConfig is NewTCPExchange with explicit deadlines.
+func NewTCPExchangeWithConfig(cfg TCPConfig) ExchangeFactory {
+	return bsp.NewTCPExchangeFactoryWithConfig(cfg)
+}
+
+// NewFaultyExchange wraps inner (nil = the in-process exchange) in a
+// deterministic fault injector that drops, delays, or errors whole superstep
+// batches — pair it with Options.Retry and checkpointing to test recovery.
+func NewFaultyExchange(inner ExchangeFactory, fc FaultConfig) ExchangeFactory {
+	return bsp.NewFaultyExchangeFactory(inner, fc)
+}
+
+// NewMemCheckpointStore returns an in-memory checkpoint store for in-run
+// recovery within a single process.
+func NewMemCheckpointStore() CheckpointStore { return bsp.NewMemCheckpointStore() }
+
+// NewFileCheckpointStore returns a directory-backed checkpoint store whose
+// snapshots survive the process; pass it as Options.ResumeFrom in a later
+// run to continue a failed enumeration from its last barrier.
+func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
+	return bsp.NewFileCheckpointStore(dir)
+}
 
 // Graph construction.
 

@@ -5,10 +5,12 @@ package psgl_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"psgl"
 )
@@ -263,5 +265,30 @@ func TestLabeledMatchingPublic(t *testing.T) {
 func TestLoadEdgeListRejectsGarbage(t *testing.T) {
 	if _, err := psgl.LoadEdgeList(strings.NewReader("not an edge list")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFaultTolerancePublicAPI(t *testing.T) {
+	// The whole fault-tolerance surface through the public package: injected
+	// exchange faults, retry, checkpointing, recovery — same count as clean.
+	g := psgl.GenerateErdosRenyi(60, 240, 5)
+	clean, err := psgl.List(g, psgl.Triangle(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := psgl.NewOptions()
+	opts.Exchange = psgl.NewFaultyExchange(nil, psgl.FaultConfig{
+		Seed: 4, ErrorRate: 0.5, FromStep: 1,
+	})
+	opts.Retry = psgl.RetryPolicy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond}
+	opts.CheckpointEvery = 1
+	opts.CheckpointStore = psgl.NewMemCheckpointStore()
+	opts.MaxRecoveries = 50
+	res, err := psgl.ListContext(context.Background(), g, psgl.Triangle(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != clean.Count {
+		t.Fatalf("faulty run counted %d, clean run %d", res.Count, clean.Count)
 	}
 }

@@ -238,6 +238,16 @@ func BenchmarkAblationLocalExpansion(b *testing.B) {
 	}
 }
 
+// BenchmarkHotpath runs the engine's hot-path microbenchmarks: steady-state
+// expansion and the exchange frame codec (wire vs the gob fallback). The same
+// measurements back `psgl-bench hotpath` and the committed BENCH_hotpath.json
+// baseline.
+func BenchmarkHotpath(b *testing.B) {
+	for _, hb := range core.HotpathBenchmarks() {
+		b.Run(hb.Name, hb.Fn)
+	}
+}
+
 // BenchmarkEngineTriangle is the plain PSgL micro benchmark (allocation
 // profile of the hot path).
 func BenchmarkEngineTriangle(b *testing.B) {

@@ -6,7 +6,10 @@
 //	psgl-bench <experiment>
 //
 // where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
-// table2, fig7, table3, table4, fig8, or all.
+// table2, fig7, table3, table4, fig8, makespan, hotpath, or all.
+//
+// `psgl-bench hotpath` additionally writes the machine-readable baseline to
+// BENCH_hotpath.json in the current directory.
 package main
 
 import (
@@ -19,7 +22,7 @@ import (
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: psgl-bench <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|all>")
+		fmt.Fprintln(os.Stderr, "usage: psgl-bench <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|all>")
 		os.Exit(2)
 	}
 	fn, err := experiments.ByName(os.Args[1])
@@ -29,5 +32,17 @@ func main() {
 	}
 	start := time.Now()
 	fmt.Print(fn())
+	if os.Args[1] == "hotpath" {
+		data, err := experiments.HotpathJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_hotpath.json", data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("baseline written to BENCH_hotpath.json")
+	}
 	fmt.Printf("(experiment %s completed in %s)\n", os.Args[1], time.Since(start).Round(time.Millisecond))
 }

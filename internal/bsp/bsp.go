@@ -96,6 +96,27 @@ type Config struct {
 // ErrAborted wraps the error passed to Context.Abort.
 var ErrAborted = errors.New("bsp: computation aborted")
 
+// Snapshotter is an optional Program extension for programs carrying state
+// outside the BSP inboxes — accumulators, RNG streams, local heuristic
+// views. When the Program implements it, that state rides along every
+// barrier snapshot and is restored (or reset, on a restart from scratch)
+// together with the engine's own state, so program-side metrics stay
+// exactly-once across retries, recoveries, and resumes instead of
+// double-counting replayed supersteps.
+//
+// Both methods are only called between supersteps (at barriers), never
+// concurrently with Init or Process.
+type Snapshotter interface {
+	// SnapshotState returns an opaque encoding of the program's barrier
+	// state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the program's state with a previously
+	// snapshot one. nil data means "reset to the initial state" (a restart
+	// from scratch, or a resume from a snapshot predating the program's
+	// state format).
+	RestoreState(data []byte) error
+}
+
 // Context is the per-worker, per-superstep API surface available to a
 // Program. It is not safe to retain across supersteps.
 type Context[M any] struct {
@@ -220,6 +241,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 	var abortPtr atomic.Pointer[error]
 	inboxes := make([][]Envelope[M], k)
 	startStep := 0
+	snapper, _ := any(prog).(Snapshotter)
 
 	restore := func(snap *snapshot[M]) error {
 		if len(snap.Stats.WorkerTime) != k || len(snap.Stats.WorkerMessages) != k {
@@ -235,6 +257,13 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		inboxes = snap.Inboxes
 		if inboxes == nil {
 			inboxes = make([][]Envelope[M], k)
+		}
+		if snapper != nil {
+			// Roll the program's own state (load accumulators, RNGs, …)
+			// back to the same barrier, keeping it exactly-once too.
+			if err := snapper.RestoreState(snap.Prog); err != nil {
+				return fmt.Errorf("bsp: restoring program state: %w", err)
+			}
 		}
 		return nil
 	}
@@ -332,11 +361,17 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		snap, err := loadSnapshot[M](cfg.CheckpointStore)
 		switch {
 		case errors.Is(err, ErrNoCheckpoint):
-			// No barrier snapshot yet: restart from scratch.
+			// No barrier snapshot yet: restart from scratch, resetting
+			// program-side state with the engine's.
 			recoveries := stats.Recoveries
 			stats = newStats()
 			stats.Recoveries = recoveries
 			inboxes = make([][]Envelope[M], k)
+			if snapper != nil {
+				if err := snapper.RestoreState(nil); err != nil {
+					return 0, fmt.Errorf("resetting program state after step %d: %v (original failure: %w)", step, err, cause)
+				}
+			}
 			return 0, nil
 		case err != nil:
 			return 0, fmt.Errorf("loading checkpoint after step %d: %v (original failure: %w)", step, err, cause)
@@ -399,7 +434,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		}
 		inboxes = next
 		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
-			if err := saveSnapshot[M](cfg.CheckpointStore, step+1, inboxes, stats); err != nil {
+			if err := saveSnapshot[M](cfg.CheckpointStore, step+1, inboxes, stats, snapper); err != nil {
 				return stats, fmt.Errorf("bsp: checkpoint at step %d: %w", step+1, err)
 			}
 		}

@@ -35,16 +35,25 @@ type CheckpointStore interface {
 }
 
 // snapshot is the unit of checkpointing: the state of a run at the barrier
-// entering superstep Step.
+// entering superstep Step. Prog is the opaque Snapshotter state of programs
+// that carry accumulators outside the inboxes (nil otherwise).
 type snapshot[M any] struct {
 	Step    int
 	Inboxes [][]Envelope[M]
 	Stats   RunStats
+	Prog    []byte
 }
 
-func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats) error {
+func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats, snapper Snapshotter) error {
 	var buf bytes.Buffer
 	snap := snapshot[M]{Step: step, Inboxes: inboxes, Stats: *stats}
+	if snapper != nil {
+		prog, err := snapper.SnapshotState()
+		if err != nil {
+			return fmt.Errorf("snapshot program state: %w", err)
+		}
+		snap.Prog = prog
+	}
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}

@@ -1,10 +1,13 @@
 package bsp
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -39,15 +42,18 @@ func (c TCPConfig) withDefaults() TCPConfig {
 }
 
 // NewTCPExchangeFactory returns an ExchangeFactory that routes every
-// inter-worker message batch through real loopback TCP connections with gob
-// encoding — the closest single-machine analogue of the cluster deployment
-// the paper ran on. Messages between a worker and itself skip the network,
-// mirroring how Giraph delivers local messages in memory.
+// inter-worker message batch through real loopback TCP connections — the
+// closest single-machine analogue of the cluster deployment the paper ran
+// on. Messages between a worker and itself skip the network, mirroring how
+// Giraph delivers local messages in memory.
 //
-// The message type M must be gob-encodable (exported fields). Setup, the
-// handshakes, and every frame are bounded by TCPConfig deadlines (defaults
-// here); a mesh failure therefore surfaces as an error at the barrier,
-// where Run's retry and checkpoint-restore machinery can recover it.
+// Message types whose pointer implements WireMessage (the engine's Gpsi
+// does) travel as compact length-prefixed binary frames with pooled
+// buffers; any other type must be gob-encodable (exported fields) and uses
+// gob streams. Setup, the handshakes, and every frame are bounded by
+// TCPConfig deadlines (defaults here); a mesh failure therefore surfaces as
+// an error at the barrier, where Run's retry and checkpoint-restore
+// machinery can recover it.
 func NewTCPExchangeFactory() ExchangeFactory { return tcpFactory{} }
 
 // NewTCPExchangeFactoryWithConfig is NewTCPExchangeFactory with explicit
@@ -77,7 +83,8 @@ func newExchangeFromFactory[M any](f ExchangeFactory, workers int) (Exchange[M],
 	}
 }
 
-// frame is the wire unit: one superstep's batch from one worker to another.
+// frame is the gob-mode wire unit: one superstep's batch from one worker to
+// another. Wire-mode frames are encoded by hand in wire.go instead.
 type frame[M any] struct {
 	Step  int
 	Batch []Envelope[M]
@@ -86,14 +93,20 @@ type frame[M any] struct {
 type tcpExchange[M any] struct {
 	workers  int
 	cfg      TCPConfig
+	wire     bool // *M implements WireMessage: binary frames instead of gob
 	listener net.Listener
-	// enc[src][dst] / dec[dst][src] wrap the K×K mesh (nil on the diagonal).
-	// connOut/connIn hold the matching conns so Exchange can arm per-frame
-	// deadlines on them.
+	// enc[src][dst] / dec[dst][src] wrap the K×K mesh in gob mode (nil on
+	// the diagonal and in wire mode); in wire mode brIn[dst][src] buffers
+	// the inbound side. connOut/connIn hold the conns so Exchange can arm
+	// per-frame deadlines on them.
 	enc     [][]*gob.Encoder
 	dec     [][]*gob.Decoder
+	brIn    [][]*bufio.Reader
 	connOut [][]net.Conn
 	connIn  [][]net.Conn
+	// frameDeadline is the deadline of the Exchange call in flight; Run
+	// issues at most one Exchange at a time, so a plain field suffices.
+	frameDeadline time.Time
 }
 
 // testDialHook, when non-nil, replaces the mesh dialer. Tests use it to
@@ -107,19 +120,30 @@ func dialPair(src, dst int, addr string, timeout time.Duration) (net.Conn, error
 	return net.DialTimeout("tcp", addr, timeout)
 }
 
+// The handshake identifying an ordered pair is 8 raw little-endian bytes
+// (src, dst as int32). Raw rather than gob so the server reads exactly the
+// handshake and nothing more — a gob decoder's internal buffering could
+// swallow the front of the first wire-mode frame.
+func appendHandshake(dst []byte, src, dstW int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(src))
+	return binary.LittleEndian.AppendUint32(dst, uint32(dstW))
+}
+
 func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
 	}
-	ex := &tcpExchange[M]{workers: workers, cfg: cfg, listener: ln}
+	ex := &tcpExchange[M]{workers: workers, cfg: cfg, wire: messageIsWire[M](), listener: ln}
 	ex.enc = make([][]*gob.Encoder, workers)
 	ex.dec = make([][]*gob.Decoder, workers)
+	ex.brIn = make([][]*bufio.Reader, workers)
 	ex.connOut = make([][]net.Conn, workers)
 	ex.connIn = make([][]net.Conn, workers)
 	for i := 0; i < workers; i++ {
 		ex.enc[i] = make([]*gob.Encoder, workers)
 		ex.dec[i] = make([]*gob.Decoder, workers)
+		ex.brIn[i] = make([]*bufio.Reader, workers)
 		ex.connOut[i] = make([]net.Conn, workers)
 		ex.connIn[i] = make([]net.Conn, workers)
 	}
@@ -130,7 +154,6 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 		tl.SetDeadline(deadline)
 	}
 
-	type handshake struct{ Src, Dst int }
 	nPairs := workers*workers - workers
 	var (
 		wg   sync.WaitGroup
@@ -148,7 +171,7 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 	}
 
 	// Server side: accept one connection per ordered pair, identify it by
-	// the handshake, and keep its decoder on the destination side.
+	// the handshake, and keep its reader on the destination side.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -159,29 +182,34 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 				return
 			}
 			conn.SetReadDeadline(deadline)
-			dec := gob.NewDecoder(conn)
-			var hs handshake
-			if err := dec.Decode(&hs); err != nil {
+			var hs [8]byte
+			if _, err := io.ReadFull(conn, hs[:]); err != nil {
 				conn.Close()
 				fail(fmt.Errorf("handshake decode: %w", err))
 				return
 			}
-			if hs.Src < 0 || hs.Src >= workers || hs.Dst < 0 || hs.Dst >= workers || hs.Src == hs.Dst {
+			src := int(int32(binary.LittleEndian.Uint32(hs[:4])))
+			dst := int(int32(binary.LittleEndian.Uint32(hs[4:])))
+			if src < 0 || src >= workers || dst < 0 || dst >= workers || src == dst {
 				conn.Close()
-				fail(fmt.Errorf("handshake names invalid pair %d->%d", hs.Src, hs.Dst))
+				fail(fmt.Errorf("handshake names invalid pair %d->%d", src, dst))
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
 			mu.Lock()
-			dup := ex.dec[hs.Dst][hs.Src] != nil
+			dup := ex.connIn[dst][src] != nil
 			if !dup {
-				ex.dec[hs.Dst][hs.Src] = dec
-				ex.connIn[hs.Dst][hs.Src] = conn
+				ex.connIn[dst][src] = conn
+				if ex.wire {
+					ex.brIn[dst][src] = bufio.NewReaderSize(conn, 64<<10)
+				} else {
+					ex.dec[dst][src] = gob.NewDecoder(conn)
+				}
 			}
 			mu.Unlock()
 			if dup {
 				conn.Close()
-				fail(fmt.Errorf("duplicate handshake for pair %d->%d", hs.Src, hs.Dst))
+				fail(fmt.Errorf("duplicate handshake for pair %d->%d", src, dst))
 				return
 			}
 		}
@@ -203,16 +231,17 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 					return
 				}
 				conn.SetWriteDeadline(deadline)
-				enc := gob.NewEncoder(conn)
-				if err := enc.Encode(handshake{Src: src, Dst: dst}); err != nil {
+				if _, err := conn.Write(appendHandshake(nil, src, dst)); err != nil {
 					conn.Close()
 					fail(fmt.Errorf("handshake encode %d->%d: %w", src, dst, err))
 					return
 				}
 				conn.SetWriteDeadline(time.Time{})
 				mu.Lock()
-				ex.enc[src][dst] = enc
 				ex.connOut[src][dst] = conn
+				if !ex.wire {
+					ex.enc[src][dst] = gob.NewEncoder(conn)
+				}
 				mu.Unlock()
 			}(src, dst)
 		}
@@ -225,7 +254,7 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 		// Belt and braces: every off-diagonal endpoint must be wired.
 		for src := 0; src < workers && err == nil; src++ {
 			for dst := 0; dst < workers; dst++ {
-				if src != dst && (ex.enc[src][dst] == nil || ex.dec[dst][src] == nil) {
+				if src != dst && (ex.connOut[src][dst] == nil || ex.connIn[dst][src] == nil) {
 					err = fmt.Errorf("mesh incomplete: pair %d->%d never connected", src, dst)
 					break
 				}
@@ -254,6 +283,49 @@ func firstSetupError(errs []error) error {
 	return errs[0]
 }
 
+// sendFrame writes one batch to the (src, dst) conn in the exchange's mode.
+// In wire mode the whole frame is staged in a pooled buffer and written with
+// a single syscall.
+func (ex *tcpExchange[M]) sendFrame(src, dst, step int, batch []Envelope[M]) error {
+	ex.connOut[src][dst].SetWriteDeadline(ex.frameDeadline)
+	if !ex.wire {
+		return ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: batch})
+	}
+	bp := getWireBuf(0)
+	*bp = AppendWireFrame(*bp, step, batch)
+	_, err := ex.connOut[src][dst].Write(*bp)
+	putWireBuf(bp)
+	return err
+}
+
+// recvFrame reads one batch from the (dst, src) conn in the exchange's mode.
+func (ex *tcpExchange[M]) recvFrame(dst, src int) (int, []Envelope[M], error) {
+	ex.connIn[dst][src].SetReadDeadline(ex.frameDeadline)
+	if !ex.wire {
+		var fr frame[M]
+		if err := ex.dec[dst][src].Decode(&fr); err != nil {
+			return 0, nil, err
+		}
+		return fr.Step, fr.Batch, nil
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(ex.brIn[dst][src], hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 8 || n > 1<<30 {
+		return 0, nil, fmt.Errorf("implausible frame length %d", n)
+	}
+	bp := getWireBuf(n)
+	if _, err := io.ReadFull(ex.brIn[dst][src], *bp); err != nil {
+		putWireBuf(bp)
+		return 0, nil, err
+	}
+	step, batch, err := DecodeWireFrame[M](*bp)
+	putWireBuf(bp)
+	return step, batch, err
+}
+
 func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -263,6 +335,7 @@ func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]E
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+	ex.frameDeadline = deadline
 	res := make([][]Envelope[M], k)
 	errs := make(chan error, 2*k)
 	var wg sync.WaitGroup
@@ -276,8 +349,7 @@ func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]E
 				if dst == src {
 					continue
 				}
-				ex.connOut[src][dst].SetWriteDeadline(deadline)
-				if err := ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: outAll[src][dst]}); err != nil {
+				if err := ex.sendFrame(src, dst, step, outAll[src][dst]); err != nil {
 					errs <- fmt.Errorf("send %d->%d: %w", src, dst, err)
 					return
 				}
@@ -297,17 +369,16 @@ func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]E
 					buf = append(buf, outAll[dst][dst]...)
 					continue
 				}
-				ex.connIn[dst][src].SetReadDeadline(deadline)
-				var fr frame[M]
-				if err := ex.dec[dst][src].Decode(&fr); err != nil {
+				frStep, batch, err := ex.recvFrame(dst, src)
+				if err != nil {
 					errs <- fmt.Errorf("recv %d<-%d: %w", dst, src, err)
 					return
 				}
-				if fr.Step != step {
-					errs <- fmt.Errorf("recv %d<-%d: step skew %d != %d", dst, src, fr.Step, step)
+				if frStep != step {
+					errs <- fmt.Errorf("recv %d<-%d: step skew %d != %d", dst, src, frStep, step)
 					return
 				}
-				buf = append(buf, fr.Batch...)
+				buf = append(buf, batch...)
 			}
 			res[dst] = buf
 		}(dst)

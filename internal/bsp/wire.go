@@ -1,0 +1,124 @@
+package bsp
+
+// Compact wire codec for the TCP exchange. Reflective gob spends most of an
+// exchange encoding type metadata and walking values; message types that
+// implement WireMessage instead get a hand-rolled length-prefixed binary
+// frame with pooled encode/decode buffers (Chen et al. observe the message
+// plane dominates massive subgraph counting at scale — this is the repo's
+// answer on a single machine). Types without WireMessage keep the gob path,
+// and checkpoint snapshots always use gob.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"psgl/internal/graph"
+)
+
+// WireMessage is the optional fast-path contract of the TCP exchange: a
+// message type (via its pointer) that can append its encoding to a byte
+// buffer and decode itself back in place. When the exchange's message type
+// implements it, every inter-worker frame uses the compact binary codec
+// below instead of gob; otherwise gob remains the transport encoding.
+type WireMessage interface {
+	// AppendWire appends the receiver's encoding to dst and returns the
+	// extended buffer.
+	AppendWire(dst []byte) []byte
+	// DecodeWire overwrites the receiver from the front of src and returns
+	// the remaining bytes.
+	DecodeWire(src []byte) (rest []byte, err error)
+}
+
+// messageIsWire reports whether *M implements WireMessage, deciding the
+// exchange's transport encoding at mesh-setup time.
+func messageIsWire[M any]() bool {
+	_, ok := any((*M)(nil)).(WireMessage)
+	return ok
+}
+
+// Wire frame layout (little-endian):
+//
+//	uint32  payload length (bytes after this field)
+//	uint32  step
+//	uint32  envelope count
+//	count × { int32 dest ; message bytes (WireMessage encoding) }
+//
+// The 4-byte length prefix makes the read side a ReadFull pair — no
+// streaming decoder state survives between frames, so a rebuilt mesh after
+// recovery starts from a clean slate.
+
+const wireFrameHeader = 12 // length + step + count
+
+// wireBufPool recycles frame buffers across Exchange calls so steady-state
+// encode/decode performs no per-frame allocations.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getWireBuf(n int) *[]byte {
+	bp := wireBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putWireBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	wireBufPool.Put(bp)
+}
+
+// AppendWireFrame encodes one superstep batch into buf (appended) with the
+// length prefix patched in, ready for a single conn.Write. Exported for the
+// hot-path microbenchmarks and for custom exchanges; M's pointer must
+// implement WireMessage.
+func AppendWireFrame[M any](buf []byte, step int, batch []Envelope[M]) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length, patched below
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(step))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
+	for i := range batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(batch[i].Dest))
+		buf = any(&batch[i].Msg).(WireMessage).AppendWire(buf)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// DecodeWireFrame decodes a frame payload (everything after the length
+// prefix) into a fresh envelope slice. Exported for the hot-path
+// microbenchmarks and for custom exchanges.
+func DecodeWireFrame[M any](payload []byte) (step int, batch []Envelope[M], err error) {
+	if len(payload) < wireFrameHeader-4 {
+		return 0, nil, fmt.Errorf("wire frame: truncated header (%d bytes)", len(payload))
+	}
+	step = int(binary.LittleEndian.Uint32(payload))
+	count := int(binary.LittleEndian.Uint32(payload[4:]))
+	rest := payload[8:]
+	if count < 0 || count > len(rest) {
+		return 0, nil, fmt.Errorf("wire frame: implausible envelope count %d for %d bytes", count, len(rest))
+	}
+	if count == 0 {
+		return step, nil, nil
+	}
+	batch = make([]Envelope[M], count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("wire frame: truncated envelope %d/%d", i, count)
+		}
+		batch[i].Dest = graph.VertexID(binary.LittleEndian.Uint32(rest))
+		rest, err = any(&batch[i].Msg).(WireMessage).DecodeWire(rest[4:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire frame: envelope %d/%d: %w", i, count, err)
+		}
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("wire frame: %d trailing bytes", len(rest))
+	}
+	return step, batch, nil
+}

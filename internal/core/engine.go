@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,8 +34,8 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 	if g == nil || p == nil {
 		return nil, fmt.Errorf("psgl: nil graph or pattern")
 	}
-	if p.N() > 16 {
-		return nil, fmt.Errorf("psgl: pattern has %d vertices; engine supports up to 16", p.N())
+	if p.N() > maxPatternVertices {
+		return nil, fmt.Errorf("psgl: pattern has %d vertices; engine supports up to %d", p.N(), maxPatternVertices)
 	}
 	opts = opts.normalized()
 	if (opts.DataLabels != nil) != p.Labeled() {
@@ -91,7 +94,8 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 	return e.buildResult(runStats, wall), nil
 }
 
-// engine implements bsp.Program[gpsi].
+// engine implements bsp.Program[gpsi] (and bsp.Snapshotter, so its
+// accumulators ride barrier snapshots and stay exactly-once under recovery).
 type engine struct {
 	g    *graph.Graph
 	ord  *graph.Ordered
@@ -104,15 +108,25 @@ type engine struct {
 	bitmap *graph.BitmapIndex
 
 	initial int
+	// proto is the blank Gpsi Init stamps per seed vertex: all WHITE, sized
+	// and aimed at the initial pattern vertex.
+	proto gpsi
 	// edgeID[a][b] numbers the pattern edges for the Pending bitmask.
 	edgeID [][]int
+	// pEdges caches p.Edges() (which builds a fresh slice per call) for the
+	// pending-edge scan in grayCandidates.
+	pEdges [][2]int
+	// owned[w] lists worker w's data vertices, bucketed once in newEngine so
+	// Init is O(V) total instead of every worker filtering all vertices.
+	owned [][]graph.VertexID
 
 	// Per-worker state; index w is touched only by worker w's goroutine
 	// (bsp guarantees one goroutine per worker per superstep, with barriers
 	// establishing happens-before between supersteps).
-	rngs   []*xorshift
-	wviews [][]float64 // workload-aware local views of all workers' loads
-	loads  []float64   // actual accumulated cost-model load units
+	rngs    []*xorshift
+	wviews  [][]float64     // workload-aware local views of all workers' loads
+	loads   []float64       // actual accumulated cost-model load units
+	scratch []workerScratch // reusable expansion buffers (zero-alloc hot path)
 	// stepLoads[w][s] is worker w's load units in superstep s (grown only by
 	// worker w), the basis of the Equation 3 load makespan.
 	stepLoads [][]float64
@@ -123,6 +137,39 @@ type engine struct {
 	mu        sync.Mutex
 	instances [][]graph.VertexID
 }
+
+// expandFrame is one depth level of a worker's expansion scratch: the WHITE
+// vertices being combined and their candidate buffers. LocalExpansion inlines
+// expansions recursively (depth bounded by the pattern size: each inline step
+// blackens a vertex), so frames form a small stack; reusing them keeps
+// steady-state expansion allocation-free.
+type expandFrame struct {
+	whites [maxPatternVertices]int
+	nw     int
+	cands  [maxPatternVertices][]graph.VertexID
+}
+
+// workerScratch is the per-worker reusable buffer set of the hot path. Only
+// worker w's goroutine touches scratch[w].
+type workerScratch struct {
+	frames  []*expandFrame
+	depth   int
+	grays   []int
+	weights []float64
+	emit    []graph.VertexID
+}
+
+func (s *workerScratch) push() *expandFrame {
+	if s.depth == len(s.frames) {
+		s.frames = append(s.frames, &expandFrame{})
+	}
+	f := s.frames[s.depth]
+	s.depth++
+	f.nw = 0
+	return f
+}
+
+func (s *workerScratch) pop() { s.depth-- }
 
 func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error) {
 	e := &engine{
@@ -144,7 +191,8 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error
 			e.edgeID[a][b] = -1
 		}
 	}
-	for i, edge := range p.Edges() {
+	e.pEdges = p.Edges()
+	for i, edge := range e.pEdges {
 		if i >= 32 {
 			return nil, fmt.Errorf("psgl: pattern has more than 32 edges")
 		}
@@ -159,15 +207,29 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error
 	default:
 		e.initial = SelectInitialVertex(p, stats.FromHistogram(g.DegreeHistogram()))
 	}
+	e.proto = gpsi{Next: int8(e.initial), N: int8(n)}
+	for i := range e.proto.Map {
+		e.proto.Map[i] = unmapped
+	}
+	e.owned = make([][]graph.VertexID, opts.Workers)
+	for v := 0; v < g.NumVertices(); v++ {
+		w := e.part.Owner(graph.VertexID(v))
+		e.owned[w] = append(e.owned[w], graph.VertexID(v))
+	}
 	e.rngs = make([]*xorshift, opts.Workers)
 	e.wviews = make([][]float64, opts.Workers)
 	e.loads = make([]float64, opts.Workers)
+	e.scratch = make([]workerScratch, opts.Workers)
 	e.stepLoads = make([][]float64, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
-		e.rngs[w] = newXorshift(uint64(opts.Seed)*0x9e3779b97f4a7c15 + uint64(w) + 1)
+		e.rngs[w] = newXorshift(workerRngSeed(opts.Seed, w))
 		e.wviews[w] = make([]float64, opts.Workers)
 	}
 	return e, nil
+}
+
+func workerRngSeed(seed int64, w int) uint64 {
+	return uint64(seed)*0x9e3779b97f4a7c15 + uint64(w) + 1
 }
 
 // Init is the initialization phase: each data vertex that can host the
@@ -175,11 +237,7 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error
 func (e *engine) Init(ctx *bsp.Context[gpsi]) {
 	w := ctx.Worker()
 	minDeg := e.p.Degree(e.initial)
-	for v := 0; v < e.g.NumVertices(); v++ {
-		vd := graph.VertexID(v)
-		if e.part.Owner(vd) != w {
-			continue
-		}
+	for _, vd := range e.owned[w] {
 		if e.g.Degree(vd) < minDeg {
 			ctx.AddCounter("pruned_degree", 1)
 			continue
@@ -188,13 +246,7 @@ func (e *engine) Init(ctx *bsp.Context[gpsi]) {
 			ctx.AddCounter("pruned_label", 1)
 			continue
 		}
-		m := gpsi{
-			Map:  make([]graph.VertexID, e.p.N()),
-			Next: int8(e.initial),
-		}
-		for i := range m.Map {
-			m.Map[i] = unmapped
-		}
+		m := e.proto
 		m.Map[e.initial] = vd
 		e.send(ctx, m)
 	}
@@ -210,6 +262,7 @@ func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
 		return
 	}
 	ctx.AddCounter("processed", 1)
+	w := ctx.Worker()
 	vp := int(m.Next)
 	vd := m.Map[vp]
 	m.Expanded |= 1 << uint(vp)
@@ -232,23 +285,25 @@ func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
 		m.Pending &^= 1 << uint(eid)
 	}
 
-	// Candidate sets for WHITE neighbors (Algorithm 5).
-	var whites []int
-	var cands [][]graph.VertexID
+	// Candidate sets for WHITE neighbors (Algorithm 5), built in this
+	// worker's reusable scratch frame.
+	sc := &e.scratch[w]
+	fr := sc.push()
+	defer sc.pop()
 	loadUnits := 1.0
 	for _, wv := range e.p.Neighbors(vp) {
 		if m.isMapped(wv) {
 			continue
 		}
-		cand := e.candidates(ctx, &m, vp, vd, wv)
+		cand := e.candidates(ctx, &m, vp, vd, wv, fr.cands[fr.nw][:0])
+		fr.cands[fr.nw] = cand
 		if len(cand) == 0 {
 			return // dead end: this Gpsi leads to no instance
 		}
-		whites = append(whites, wv)
-		cands = append(cands, cand)
+		fr.whites[fr.nw] = wv
+		fr.nw++
 		loadUnits *= float64(len(cand))
 	}
-	w := ctx.Worker()
 	e.loads[w] += loadUnits
 	for len(e.stepLoads[w]) <= ctx.Step() {
 		e.stepLoads[w] = append(e.stepLoads[w], 0)
@@ -261,15 +316,15 @@ func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
 			preMapped |= 1 << uint(u)
 		}
 	}
-	e.combine(ctx, &m, vp, preMapped, whites, cands, 0)
+	e.combine(ctx, &m, vp, preMapped, fr.whites[:fr.nw], fr.cands[:fr.nw], 0)
 }
 
-// candidates returns the admissible data vertices for WHITE pattern vertex wv
-// while expanding vp at vd, applying the degree filter, the partial-order
-// filter, injectivity, and the light-weight edge index against wv's
-// already-mapped neighbors (other than vp).
-func (e *engine) candidates(ctx *bsp.Context[gpsi], m *gpsi, vp int, vd graph.VertexID, wv int) []graph.VertexID {
-	var out []graph.VertexID
+// candidates appends to out the admissible data vertices for WHITE pattern
+// vertex wv while expanding vp at vd, applying the degree filter, the
+// partial-order filter, injectivity, and the light-weight edge index against
+// wv's already-mapped neighbors (other than vp). out is a reusable scratch
+// buffer owned by the caller's expansion frame.
+func (e *engine) candidates(ctx *bsp.Context[gpsi], m *gpsi, vp int, vd graph.VertexID, wv int, out []graph.VertexID) []graph.VertexID {
 	minDeg := e.p.Degree(wv)
 	for _, d := range e.g.Neighbors(vd) {
 		if e.g.Degree(d) < minDeg {
@@ -387,24 +442,33 @@ func (e *engine) finalize(ctx *bsp.Context[gpsi], m *gpsi) {
 	if m.isComplete() && m.Pending == 0 {
 		ctx.AddCounter("results", 1)
 		if e.opts.OnInstance != nil {
-			e.opts.OnInstance(m.Map)
+			// Hand out a reused per-worker buffer, not a view of m: the
+			// callback may leak its argument, and a view would force every
+			// Gpsi on this path to the heap. The OnInstance contract already
+			// limits the slice's validity to the call.
+			sc := &e.scratch[ctx.Worker()]
+			sc.emit = append(sc.emit[:0], m.Map[:m.N]...)
+			e.opts.OnInstance(sc.emit)
 		}
 		if e.opts.Collect {
 			e.mu.Lock()
-			e.instances = append(e.instances, append([]graph.VertexID(nil), m.Map...))
+			e.instances = append(e.instances, append([]graph.VertexID(nil), m.Map[:m.N]...))
 			e.mu.Unlock()
 		}
 		return
 	}
-	grays := e.grayCandidates(m)
+	w := ctx.Worker()
+	sc := &e.scratch[w]
+	grays := e.grayCandidates(m, sc.grays[:0])
+	sc.grays = grays // keep the grown buffer; dead before any nested expand
 	if len(grays) == 0 {
 		// Unreachable for connected patterns; guard against silent loss.
 		err := fmt.Errorf("psgl: stuck Gpsi with no GRAY vertex")
 		ctx.Abort(err)
 		return
 	}
-	next := e.chooseNext(ctx.Worker(), m, grays)
-	child := m.clone()
+	next := e.chooseNext(w, m, grays)
+	child := *m
 	child.Next = int8(next)
 	if e.opts.LocalExpansion && e.part.Owner(child.Map[next]) == ctx.Worker() {
 		// Non-level-synchronous mode: the destination is local, so expand
@@ -421,13 +485,13 @@ func (e *engine) finalize(ctx *bsp.Context[gpsi], m *gpsi) {
 	e.send(ctx, child)
 }
 
-// grayCandidates lists the GRAY vertices eligible as the next expansion
-// point. For a complete-but-unverified Gpsi only endpoints of pending edges
-// make progress on verification, so the choice narrows to them.
-func (e *engine) grayCandidates(m *gpsi) []int {
-	var grays []int
+// grayCandidates appends to buf the GRAY vertices eligible as the next
+// expansion point. For a complete-but-unverified Gpsi only endpoints of
+// pending edges make progress on verification, so the choice narrows to them.
+func (e *engine) grayCandidates(m *gpsi, buf []int) []int {
+	grays := buf
 	if m.isComplete() && m.Pending != 0 {
-		for _, edge := range e.p.Edges() {
+		for _, edge := range e.pEdges {
 			eid := e.edgeID[edge[0]][edge[1]]
 			if m.Pending&(1<<uint(eid)) == 0 {
 				continue
@@ -478,6 +542,72 @@ func (e *engine) chargeBudget(ctx *bsp.Context[gpsi]) bool {
 		return false
 	}
 	return true
+}
+
+// engineState is the bsp.Snapshotter payload: every accumulator the engine
+// keeps outside the BSP inboxes. Capturing the RNG streams and workload
+// views along with the load accumulators makes a replayed superstep take
+// bit-identical routing decisions, so LoadUnits and LoadMakespan come out
+// exactly-once — equal to a clean run's — across recoveries and resumes.
+type engineState struct {
+	Loads     []float64
+	StepLoads [][]float64
+	WViews    [][]float64
+	Rng       []uint64
+	Generated int64
+}
+
+// SnapshotState implements bsp.Snapshotter; it is called at barriers only,
+// never concurrently with Init/Process.
+func (e *engine) SnapshotState() ([]byte, error) {
+	st := engineState{
+		Loads:     e.loads,
+		StepLoads: e.stepLoads,
+		WViews:    e.wviews,
+		Rng:       make([]uint64, len(e.rngs)),
+		Generated: e.generated.Load(),
+	}
+	for i, r := range e.rngs {
+		st.Rng[i] = r.state
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("psgl: encode engine state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements bsp.Snapshotter. nil data resets the engine's
+// accumulators to their initial values (restart from scratch).
+func (e *engine) RestoreState(data []byte) error {
+	if data == nil {
+		for w := range e.loads {
+			e.loads[w] = 0
+			e.stepLoads[w] = nil
+			for j := range e.wviews[w] {
+				e.wviews[w][j] = 0
+			}
+			*e.rngs[w] = *newXorshift(workerRngSeed(e.opts.Seed, w))
+		}
+		e.generated.Store(0)
+		return nil
+	}
+	var st engineState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("psgl: decode engine state: %w", err)
+	}
+	k := e.opts.Workers
+	if len(st.Loads) != k || len(st.WViews) != k || len(st.Rng) != k || len(st.StepLoads) != k {
+		return fmt.Errorf("psgl: engine snapshot worker count mismatch (have %d workers)", k)
+	}
+	e.loads = st.Loads
+	e.stepLoads = st.StepLoads
+	e.wviews = st.WViews
+	for i := range e.rngs {
+		e.rngs[i].state = st.Rng[i]
+	}
+	e.generated.Store(st.Generated)
+	return nil
 }
 
 func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
@@ -551,9 +681,20 @@ func (x *xorshift) next() uint64 {
 	return s
 }
 
-// intn returns a uniform value in [0, n).
+// intn returns a uniform value in [0, n) via Lemire's multiply-shift with
+// rejection — unlike the naive next()%n, the distribution carries no modulo
+// bias toward low indices for non-power-of-two n.
 func (x *xorshift) intn(n int) int {
-	return int(x.next() % uint64(n))
+	v := uint64(n)
+	hi, lo := bits.Mul64(x.next(), v)
+	if lo < v {
+		// Reject the draws that land in the short final interval.
+		thresh := -v % v
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.next(), v)
+		}
+	}
+	return int(hi)
 }
 
 // float64v returns a uniform value in [0, 1).

@@ -13,19 +13,32 @@
 // fully verified Gpsis are emitted as results.
 package core
 
-import "psgl/internal/graph"
+import (
+	"fmt"
+
+	"psgl/internal/graph"
+)
 
 // unmapped marks a pattern vertex with no data-vertex image yet (WHITE).
 const unmapped graph.VertexID = -1
 
+// maxPatternVertices is the engine's pattern-size cap; it fixes the size of
+// the inline Map array so a Gpsi is a pure value (no per-Gpsi heap
+// allocation in Init, branching, or Send).
+const maxPatternVertices = 16
+
 // gpsi is the partial subgraph instance — the unit of work and the message
-// type of the BSP computation. Fields are exported for gob (TCP exchange).
+// type of the BSP computation. It is a pure value type: copying one (for
+// branching or sending) allocates nothing. Fields are exported for gob
+// (checkpoint snapshots); the TCP exchange uses the compact wire codec below
+// instead of gob.
 //
 // Colors are implicit: pattern vertex v is BLACK if bit v of Expanded is set,
 // GRAY if mapped but not expanded, WHITE if Map[v] == unmapped.
 type gpsi struct {
 	// Map[v] is the data vertex mapped to pattern vertex v, or unmapped.
-	Map []graph.VertexID
+	// Only Map[:N] is meaningful; the tail is kept at unmapped.
+	Map [maxPatternVertices]graph.VertexID
 	// Expanded is the BLACK bitmask (patterns have ≤ 16 vertices here).
 	Expanded uint16
 	// Pending is a bitmask over pattern edge ids of edges whose existence was
@@ -37,13 +50,15 @@ type gpsi struct {
 	// distribution strategy chose it, and the message was routed to the
 	// worker owning Map[Next].
 	Next int8
+	// N is the pattern's vertex count: the used prefix of Map.
+	N int8
 }
 
 func (m *gpsi) isMapped(v int) bool { return m.Map[v] != unmapped }
 func (m *gpsi) isBlack(v int) bool  { return m.Expanded&(1<<uint(v)) != 0 }
 func (m *gpsi) isGray(v int) bool   { return m.isMapped(v) && !m.isBlack(v) }
 func (m *gpsi) isComplete() bool {
-	for _, d := range m.Map {
+	for _, d := range m.Map[:m.N] {
 		if d == unmapped {
 			return false
 		}
@@ -51,20 +66,62 @@ func (m *gpsi) isComplete() bool {
 	return true
 }
 
-// clone deep-copies the Gpsi for branching during candidate combination.
-func (m *gpsi) clone() gpsi {
-	cp := *m
-	cp.Map = append([]graph.VertexID(nil), m.Map...)
-	return cp
-}
-
 // uses reports whether data vertex d already appears in the mapping
 // (instances are injective).
 func (m *gpsi) uses(d graph.VertexID) bool {
-	for _, x := range m.Map {
+	for _, x := range m.Map[:m.N] {
 		if x == d {
 			return true
 		}
 	}
 	return false
+}
+
+// Wire codec: gpsi implements bsp.WireMessage, so the TCP exchange frames
+// batches with this fixed-layout little-endian encoding instead of
+// reflective gob. Layout per message: N, Next, Expanded (2 bytes),
+// Pending (4 bytes), then N 4-byte map entries — 8+4N bytes total.
+
+const gpsiWireHeader = 8
+
+// AppendWire implements bsp.WireMessage.
+func (m *gpsi) AppendWire(dst []byte) []byte {
+	dst = append(dst,
+		byte(m.N), byte(m.Next),
+		byte(m.Expanded), byte(m.Expanded>>8),
+		byte(m.Pending), byte(m.Pending>>8), byte(m.Pending>>16), byte(m.Pending>>24),
+	)
+	for _, d := range m.Map[:m.N] {
+		u := uint32(d)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return dst
+}
+
+// DecodeWire implements bsp.WireMessage: it overwrites m from the front of
+// src and returns the remainder.
+func (m *gpsi) DecodeWire(src []byte) ([]byte, error) {
+	if len(src) < gpsiWireHeader {
+		return nil, fmt.Errorf("gpsi wire: truncated header (%d bytes)", len(src))
+	}
+	n := int(src[0])
+	if n < 1 || n > maxPatternVertices {
+		return nil, fmt.Errorf("gpsi wire: pattern size %d out of range", n)
+	}
+	need := gpsiWireHeader + 4*n
+	if len(src) < need {
+		return nil, fmt.Errorf("gpsi wire: truncated body (%d of %d bytes)", len(src), need)
+	}
+	m.N = int8(n)
+	m.Next = int8(src[1])
+	m.Expanded = uint16(src[2]) | uint16(src[3])<<8
+	m.Pending = uint32(src[4]) | uint32(src[5])<<8 | uint32(src[6])<<16 | uint32(src[7])<<24
+	for i := 0; i < n; i++ {
+		o := gpsiWireHeader + 4*i
+		m.Map[i] = graph.VertexID(uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16 | uint32(src[o+3])<<24)
+	}
+	for i := n; i < maxPatternVertices; i++ {
+		m.Map[i] = unmapped
+	}
+	return src[need:], nil
 }

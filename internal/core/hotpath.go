@@ -1,0 +1,175 @@
+package core
+
+// Hot-path microbenchmarks, exported so bench_test.go and cmd/psgl-bench's
+// `hotpath` report run the exact same measurements. Each benchmark drives an
+// internal hot path directly — the expansion step through a detached
+// bsp.Context, and the wire codec on gpsi batches — so regressions in
+// allocation discipline or encoding cost show up without the noise of a full
+// run.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"psgl/internal/bsp"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+)
+
+// HotpathBenchmark is one named hot-path microbenchmark runnable with
+// testing.Benchmark or b.Run.
+type HotpathBenchmark struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// HotpathBenchmarks returns the engine's hot-path microbenchmarks: the
+// steady-state expansion step, the gpsi wire-codec round trip, and the TCP
+// exchange frame codec (wire vs the gob fallback) on a realistic batch.
+func HotpathBenchmarks() []HotpathBenchmark {
+	return []HotpathBenchmark{
+		{"expand", benchmarkExpand},
+		{"gpsi-wire-roundtrip", benchmarkGpsiWireRoundTrip},
+		{"frame-wire-roundtrip", benchmarkFrameWire},
+		{"frame-gob-roundtrip", benchmarkFrameGob},
+	}
+}
+
+// HotpathFrameBytes reports the encoded size of the same Gpsi batch under
+// the wire codec and under gob — the bytes/op axis of the codec comparison.
+func HotpathFrameBytes() (wire, gobBytes int, err error) {
+	batch, err := hotpathBatch()
+	if err != nil {
+		return 0, 0, err
+	}
+	wireBuf := bsp.AppendWireFrame(nil, 1, batch)
+	var buf bytes.Buffer
+	type gobFrame struct {
+		Step  int
+		Batch []bsp.Envelope[gpsi]
+	}
+	if err := gob.NewEncoder(&buf).Encode(gobFrame{Step: 1, Batch: batch}); err != nil {
+		return 0, 0, err
+	}
+	return len(wireBuf), buf.Len(), nil
+}
+
+// newHotpathHarness builds an engine over a skewed mid-size graph plus a
+// detached context and a worker-0 inbox seeded by a real Init pass.
+func newHotpathHarness(p *pattern.Pattern, strategy Strategy) (*engine, *bsp.Context[gpsi], []bsp.Envelope[gpsi], error) {
+	g := gen.ChungLu(3000, 15000, 1.8, 17)
+	opts := NewOptions()
+	opts.Strategy = strategy
+	opts.Seed = 5
+	e, err := newEngine(g, p.BreakAutomorphisms(), opts.normalized())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := bsp.Config{
+		Workers: e.opts.Workers,
+		Owner:   func(v graph.VertexID) int { return e.part.Owner(v) },
+	}
+	ictx := bsp.NewBenchContext[gpsi](cfg, 0, 0)
+	e.Init(ictx)
+	inbox := append([]bsp.Envelope[gpsi](nil), ictx.Sends(0)...)
+	if len(inbox) == 0 {
+		return nil, nil, nil, fmt.Errorf("hotpath harness: Init seeded no messages for worker 0")
+	}
+	return e, bsp.NewBenchContext[gpsi](cfg, 0, 1), inbox, nil
+}
+
+func benchmarkExpand(b *testing.B) {
+	e, ctx, inbox, err := newHotpathHarness(pattern.Triangle(), StrategyWorkloadAware)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up once so scratch frames, counters, and send buffers reach their
+	// steady-state capacity before measuring.
+	for _, env := range inbox {
+		e.Process(ctx, env)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ResetSends()
+		e.Process(ctx, inbox[i%len(inbox)])
+	}
+}
+
+func benchmarkGpsiWireRoundTrip(b *testing.B) {
+	m := gpsi{N: 4, Next: 2, Expanded: 0b0011, Pending: 0b101}
+	for i := range m.Map {
+		m.Map[i] = unmapped
+	}
+	m.Map[0], m.Map[1], m.Map[2] = 7, 9, 13
+	buf := make([]byte, 0, 64)
+	var out gpsi
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendWire(buf[:0])
+		if _, err := out.DecodeWire(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if out.Map != m.Map {
+		b.Fatal("wire round trip mangled the mapping")
+	}
+}
+
+// hotpathBatch builds a realistic exchange batch: the Gpsis a real Init pass
+// would put on the wire.
+func hotpathBatch() ([]bsp.Envelope[gpsi], error) {
+	_, _, inbox, err := newHotpathHarness(pattern.PG2(), StrategyWorkloadAware)
+	return inbox, err
+}
+
+func benchmarkFrameWire(b *testing.B) {
+	batch, err := hotpathBatch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := bsp.AppendWireFrame(nil, 1, batch)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = bsp.AppendWireFrame(buf[:0], 1, batch)
+		// [4:] skips the length prefix, as the exchange's reader does.
+		if _, out, err := bsp.DecodeWireFrame[gpsi](buf[4:]); err != nil || len(out) != len(batch) {
+			b.Fatalf("decode: %d envelopes, err %v", len(out), err)
+		}
+	}
+}
+
+func benchmarkFrameGob(b *testing.B) {
+	batch, err := hotpathBatch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	type gobFrame struct {
+		Step  int
+		Batch []bsp.Envelope[gpsi]
+	}
+	var size int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh encoder/decoder per frame, matching what a reconnect or a
+		// non-streaming transport would pay; the steady-state stream case is
+		// still dominated by reflective encoding.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(gobFrame{Step: 1, Batch: batch}); err != nil {
+			b.Fatal(err)
+		}
+		size = int64(buf.Len())
+		var fr gobFrame
+		if err := gob.NewDecoder(&buf).Decode(&fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(size)
+}

@@ -57,15 +57,18 @@ func (e *engine) expandCost(m *gpsi, k int) float64 {
 // (Heuristic 1).
 func (e *engine) chooseRoulette(worker int, m *gpsi, grays []int) int {
 	var total float64
-	weights := make([]float64, len(grays))
-	for i, k := range grays {
+	sc := &e.scratch[worker]
+	weights := sc.weights[:0]
+	for _, k := range grays {
 		d := e.g.Degree(m.Map[k])
 		if d < 1 {
 			d = 1
 		}
-		weights[i] = 1 / float64(d)
-		total += weights[i]
+		w := 1 / float64(d)
+		weights = append(weights, w)
+		total += w
 	}
+	sc.weights = weights // keep the grown buffer for the next draw
 	r := e.rngs[worker].float64v() * total
 	for i, w := range weights {
 		if r <= w {

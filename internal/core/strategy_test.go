@@ -99,7 +99,10 @@ func TestExpandCostMatchesBinomial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := gpsi{Map: []int32{unmapped, unmapped, unmapped, unmapped}}
+	m := gpsi{N: 4}
+	for i := range m.Map {
+		m.Map[i] = unmapped
+	}
 	var v int32 = 7
 	m.Map[0] = v
 	// GRAY vertex 0 of K4 has 3 WHITE neighbors.

@@ -506,6 +506,7 @@ func ByName(name string) (func() string, error) {
 		"table4":    Table4,
 		"fig8":      Figure8,
 		"makespan":  Makespan,
+		"hotpath":   Hotpath,
 		"all":       All,
 	}
 	fn, ok := m[name]

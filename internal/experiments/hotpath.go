@@ -1,0 +1,94 @@
+package experiments
+
+// Hotpath runs the engine's hot-path microbenchmarks (steady-state expansion
+// and the exchange frame codec, wire vs gob) via testing.Benchmark and
+// reports ns/op, B/op, and allocs/op — the regression axes the PR-level
+// acceptance tracks. HotpathJSON emits the same numbers machine-readably for
+// the committed BENCH_hotpath.json baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"psgl/internal/core"
+)
+
+// HotpathResult is one microbenchmark's measurement in the JSON baseline.
+type HotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// HotpathReport is the full machine-readable hot-path baseline.
+type HotpathReport struct {
+	Benchmarks []HotpathResult `json:"benchmarks"`
+	// FrameWireBytes and FrameGobBytes are the encoded sizes of the same
+	// exchange batch under the two codecs.
+	FrameWireBytes int `json:"frame_wire_bytes"`
+	FrameGobBytes  int `json:"frame_gob_bytes"`
+}
+
+func runHotpath() (*HotpathReport, error) {
+	rep := &HotpathReport{}
+	for _, hb := range core.HotpathBenchmarks() {
+		r := testing.Benchmark(hb.Fn)
+		res := HotpathResult{
+			Name:        hb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if v, ok := r.Extra["MB/s"]; ok {
+			res.MBPerSec = v
+		} else if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	wire, gob, err := core.HotpathFrameBytes()
+	if err != nil {
+		return nil, err
+	}
+	rep.FrameWireBytes = wire
+	rep.FrameGobBytes = gob
+	return rep, nil
+}
+
+// Hotpath returns the text report of the hot-path microbenchmarks.
+func Hotpath() string {
+	rep, err := runHotpath()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: hotpath: %v", err))
+	}
+	r := newReport("Hot path: expansion + exchange codec")
+	r.row("bench", "ns/op", "B/op", "allocs/op", "MB/s")
+	for _, b := range rep.Benchmarks {
+		mb := "-"
+		if b.MBPerSec > 0 {
+			mb = fmt.Sprintf("%.0f", b.MBPerSec)
+		}
+		r.rowf("%s\t%.0f\t%d\t%d\t%s", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, mb)
+	}
+	r.note("same batch encoded: wire %dB vs gob %dB (%.0f%% of gob)",
+		rep.FrameWireBytes, rep.FrameGobBytes,
+		100*float64(rep.FrameWireBytes)/float64(rep.FrameGobBytes))
+	return r.String()
+}
+
+// HotpathJSON returns the hot-path baseline as indented JSON, the content of
+// the committed BENCH_hotpath.json.
+func HotpathJSON() ([]byte, error) {
+	rep, err := runHotpath()
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -3,46 +3,103 @@
 //
 // Usage:
 //
-//	psgl-bench <experiment>
+//	psgl-bench [flags] <experiment>
 //
 // where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
 // table2, fig7, table3, table4, fig8, makespan, hotpath, or all.
 //
 // `psgl-bench hotpath` additionally writes the machine-readable baseline to
 // BENCH_hotpath.json in the current directory.
+//
+// Observability: `psgl-bench -trace out.jsonl <experiment>` attaches an
+// observer to every PSgL run the experiment performs, writes the JSONL event
+// trace to out.jsonl, and prints the end-of-run report; -pprof-addr serves
+// net/http/pprof, expvar counters (/debug/vars), and the live observer
+// snapshot (/debug/obs) while the experiment runs.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"psgl"
 	"psgl/internal/experiments"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: psgl-bench <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|all>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so CLI behavior — flag and
+// experiment-name validation above all — is testable in-process. Exit codes:
+// 0 on success, 2 on usage errors, 1 on runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psgl-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tracePath = fs.String("trace", "", "write a JSONL trace of engine events to this file and print the observability report")
+		pprofAddr = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|all>")
+		fs.PrintDefaults()
 	}
-	fn, err := experiments.ByName(os.Args[1])
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	name := fs.Arg(0)
+	fn, err := experiments.ByName(name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
+
+	var observer *psgl.Observer
+	if *tracePath != "" {
+		traceFile, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer traceFile.Close()
+		observer = psgl.NewObserver(psgl.NewJSONLSink(traceFile))
+	} else if *pprofAddr != "" {
+		observer = psgl.NewObserver(nil)
+	}
+	if *pprofAddr != "" {
+		addr, err := psgl.ServeDebug(*pprofAddr, observer)
+		if err != nil {
+			fmt.Fprintf(stderr, "pprof server: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/obs)\n", addr)
+	}
+	experiments.Observer = observer
+
 	start := time.Now()
-	fmt.Print(fn())
-	if os.Args[1] == "hotpath" {
+	fmt.Fprint(stdout, fn())
+	if observer != nil {
+		observer.WriteReport(stderr)
+	}
+	if name == "hotpath" {
 		data, err := experiments.HotpathJSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := os.WriteFile("BENCH_hotpath.json", data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Println("baseline written to BENCH_hotpath.json")
+		fmt.Fprintln(stdout, "baseline written to BENCH_hotpath.json")
 	}
-	fmt.Printf("(experiment %s completed in %s)\n", os.Args[1], time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(experiment %s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	return 0
 }

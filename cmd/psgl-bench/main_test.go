@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRejectsUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCLI(t, "fig99")
+	if code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(stderr, `unknown experiment "fig99"`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRejectsMissingExperiment(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code == 0 {
+		t.Fatal("missing experiment accepted")
+	}
+	if !strings.Contains(stderr, "usage: psgl-bench") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRejectsExtraArguments(t *testing.T) {
+	code, _, stderr := runCLI(t, "fig3", "fig5")
+	if code == 0 {
+		t.Fatal("extra arguments accepted")
+	}
+	if !strings.Contains(stderr, "usage: psgl-bench") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRejectsUnknownFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-workers", "-3", "fig3")
+	if code == 0 {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}

@@ -6,13 +6,17 @@
 //	psgl -pattern triangle -gen "chunglu:20000:80000:1.8" [flags]
 //
 // Generator specs: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M".
+//
+// Observability: -trace writes a JSONL trace of the run's events and prints
+// the end-of-run report to stderr; -pprof-addr serves net/http/pprof, expvar
+// counters (/debug/vars), and the live observer snapshot (/debug/obs).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,53 +28,75 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("psgl: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so CLI behavior — flag
+// validation above all — is testable in-process. It returns the exit code:
+// 0 on success, 2 on usage errors, 1 on runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "psgl: "+format+"\n", a...)
+		return 1
+	}
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "psgl: "+format+"\n", a...)
+		return 2
+	}
+
+	fs := flag.NewFlagSet("psgl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphPath   = flag.String("graph", "", "edge-list file to load (SNAP/KONECT format)")
-		genSpec     = flag.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
-		patternName = flag.String("pattern", "pg1", "pattern: pg1..pg5, triangle, square, diamond, house, cycleN, cliqueN, pathN, starN")
-		workers     = flag.Int("workers", 8, "BSP worker count")
-		strategy    = flag.String("strategy", "wa", "distribution strategy: random, roulette, wa")
-		alpha       = flag.Float64("alpha", 0.5, "workload-aware penalty exponent (0,1]")
-		initial     = flag.Int("initial", -1, "initial pattern vertex (-1 = automatic)")
-		noIndex     = flag.Bool("no-edge-index", false, "disable the bloom edge index")
-		seed        = flag.Int64("seed", 1, "seed for partition and randomized strategies")
-		budget      = flag.Int64("max-intermediate", 0, "abort after this many partial instances (0 = unlimited)")
-		tcp         = flag.Bool("tcp", false, "route messages over loopback TCP")
-		timeout     = flag.Duration("timeout", 0, "overall run timeout (0 = none); Ctrl-C also cancels cleanly")
-		stepTimeout = flag.Duration("step-timeout", 0, "per-superstep deadline (0 = none)")
-		retries     = flag.Int("exchange-retries", 1, "attempts per superstep exchange (bounded exponential backoff)")
-		ckptDir     = flag.String("checkpoint-dir", "", "directory for barrier checkpoints (enables checkpointing)")
-		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint every N supersteps (with -checkpoint-dir)")
-		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
-		maxRecover  = flag.Int("max-recoveries", 0, "max in-run checkpoint-restore recoveries of failed supersteps")
-		showStats   = flag.Bool("stats", false, "print detailed run statistics")
-		explain     = flag.Bool("explain", false, "print the Algorithm 4 cost estimate per initial pattern vertex and exit")
-		verify      = flag.Bool("verify", false, "cross-check the count against the single-thread oracle (slow on large graphs)")
+		graphPath   = fs.String("graph", "", "edge-list file to load (SNAP/KONECT format)")
+		genSpec     = fs.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
+		patternName = fs.String("pattern", "pg1", "pattern: pg1..pg5, triangle, square, diamond, house, cycleN, cliqueN, pathN, starN")
+		workers     = fs.Int("workers", 8, "BSP worker count (>= 1)")
+		strategy    = fs.String("strategy", "wa", "distribution strategy: random, roulette, wa")
+		alpha       = fs.Float64("alpha", 0.5, "workload-aware penalty exponent (0,1]")
+		initial     = fs.Int("initial", -1, "initial pattern vertex (-1 = automatic)")
+		noIndex     = fs.Bool("no-edge-index", false, "disable the bloom edge index")
+		seed        = fs.Int64("seed", 1, "seed for partition and randomized strategies")
+		budget      = fs.Int64("max-intermediate", 0, "abort after this many partial instances (0 = unlimited)")
+		maxSteps    = fs.Int("max-supersteps", 0, "abort after this many supersteps (0 = engine default)")
+		tcp         = fs.Bool("tcp", false, "route messages over loopback TCP")
+		timeout     = fs.Duration("timeout", 0, "overall run timeout (0 = none); Ctrl-C also cancels cleanly")
+		stepTimeout = fs.Duration("step-timeout", 0, "per-superstep deadline (0 = none)")
+		retries     = fs.Int("exchange-retries", 1, "attempts per superstep exchange (bounded exponential backoff)")
+		ckptDir     = fs.String("checkpoint-dir", "", "directory for barrier checkpoints (enables checkpointing)")
+		ckptEvery   = fs.Int("checkpoint-every", 1, "checkpoint every N supersteps (with -checkpoint-dir)")
+		resume      = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
+		maxRecover  = fs.Int("max-recoveries", 0, "max in-run checkpoint-restore recoveries of failed supersteps")
+		tracePath   = fs.String("trace", "", "write a JSONL trace of run events to this file and print the observability report")
+		pprofAddr   = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
+		showStats   = fs.Bool("stats", false, "print detailed run statistics")
+		explain     = fs.Bool("explain", false, "print the Algorithm 4 cost estimate per initial pattern vertex and exit")
+		verify      = fs.Bool("verify", false, "cross-check the count against the single-thread oracle (slow on large graphs)")
 	)
-	flag.Parse()
-
-	g, err := loadGraph(*graphPath, *genSpec, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	p, err := psgl.PatternByName(*patternName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *explain {
-		explainInitialVertex(g, p)
-		return
+	if fs.NArg() > 0 {
+		return usage("unexpected arguments %q", fs.Args())
 	}
 
+	// Validate before anything reaches the engine: bad values would otherwise
+	// surface as confusing failures (or silently normalize) deep in the run.
+	if *workers < 1 {
+		return usage("-workers must be >= 1, have %d", *workers)
+	}
+	if *maxSteps < 0 {
+		return usage("-max-supersteps must be positive, have %d", *maxSteps)
+	}
+	explicitZeroSteps := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "max-supersteps" && *maxSteps == 0 {
+			explicitZeroSteps = true
+		}
+	})
+	if explicitZeroSteps {
+		return usage("-max-supersteps must be positive (a run needs at least the initialization superstep)")
+	}
 	opts := psgl.NewOptions()
-	opts.Workers = *workers
-	opts.Alpha = *alpha
-	opts.InitialVertex = *initial
-	opts.DisableEdgeIndex = *noIndex
-	opts.Seed = *seed
-	opts.MaxIntermediate = *budget
 	switch *strategy {
 	case "random":
 		opts.Strategy = psgl.StrategyRandom
@@ -79,24 +105,54 @@ func main() {
 	case "wa":
 		opts.Strategy = psgl.StrategyWorkloadAware
 	default:
-		log.Fatalf("unknown strategy %q", *strategy)
+		return usage("unknown strategy %q (want random, roulette, or wa)", *strategy)
 	}
+	if *alpha <= 0 || *alpha > 1 {
+		return usage("-alpha must be in (0, 1], have %g", *alpha)
+	}
+	if *retries < 1 {
+		return usage("-exchange-retries must be >= 1, have %d", *retries)
+	}
+	if *maxRecover < 0 {
+		return usage("-max-recoveries must be >= 0, have %d", *maxRecover)
+	}
+	if *resume && *ckptDir == "" {
+		return usage("-resume requires -checkpoint-dir")
+	}
+	if *maxRecover > 0 && *ckptDir == "" {
+		return usage("-max-recoveries requires -checkpoint-dir")
+	}
+
+	g, err := loadGraph(*graphPath, *genSpec, *seed)
+	if err != nil {
+		return usage("%v", err)
+	}
+	p, err := psgl.PatternByName(*patternName)
+	if err != nil {
+		return usage("%v", err)
+	}
+	if *explain {
+		explainInitialVertex(stdout, g, p)
+		return 0
+	}
+
+	opts.Workers = *workers
+	opts.Alpha = *alpha
+	opts.InitialVertex = *initial
+	opts.DisableEdgeIndex = *noIndex
+	opts.Seed = *seed
+	opts.MaxIntermediate = *budget
+	opts.MaxSupersteps = *maxSteps
 	if *tcp {
 		opts.Exchange = psgl.NewTCPExchange()
 	}
 	opts.StepTimeout = *stepTimeout
 	opts.Retry = psgl.RetryPolicy{MaxAttempts: *retries}
 	opts.MaxRecoveries = *maxRecover
-	if *resume && *ckptDir == "" {
-		log.Fatal("-resume requires -checkpoint-dir")
-	}
-	if *maxRecover > 0 && *ckptDir == "" {
-		log.Fatal("-max-recoveries requires -checkpoint-dir")
-	}
 	if *ckptDir != "" {
 		store, err := psgl.NewFileCheckpointStore(*ckptDir)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		every := *ckptEvery
 		if every <= 0 {
@@ -109,6 +165,29 @@ func main() {
 		}
 	}
 
+	// Observability: a JSONL trace file, the debug server, or both share one
+	// observer. Without either flag no observer is attached at all.
+	var observer *psgl.Observer
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		defer traceFile.Close()
+		observer = psgl.NewObserver(psgl.NewJSONLSink(traceFile))
+	} else if *pprofAddr != "" {
+		observer = psgl.NewObserver(nil)
+	}
+	if *pprofAddr != "" {
+		addr, err := psgl.ServeDebug(*pprofAddr, observer)
+		if err != nil {
+			return fail("pprof server: %v", err)
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/obs)\n", addr)
+	}
+	opts.Observer = observer
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
@@ -117,46 +196,50 @@ func main() {
 		defer cancel()
 	}
 
-	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; pattern: %s\n",
+	fmt.Fprintf(stderr, "graph: %d vertices, %d edges; pattern: %s\n",
 		g.NumVertices(), g.NumEdges(), p)
 	start := time.Now()
 	res, err := psgl.ListContext(ctx, g, p, opts)
+	if observer != nil {
+		observer.WriteReport(stderr)
+	}
 	if err != nil {
 		if ctx.Err() != nil && *ckptDir != "" {
-			log.Fatalf("%v (run state checkpointed in %s after %v; rerun with -resume to continue)",
+			return fail("%v (run state checkpointed in %s after %v; rerun with -resume to continue)",
 				err, *ckptDir, time.Since(start).Round(time.Millisecond))
 		}
-		log.Fatal(err)
+		return fail("%v", err)
 	}
-	fmt.Printf("%d\n", res.Count)
+	fmt.Fprintf(stdout, "%d\n", res.Count)
 	if *verify {
 		if want := psgl.CountCentralized(g, p); want != res.Count {
-			log.Fatalf("VERIFICATION FAILED: psgl=%d oracle=%d", res.Count, want)
+			return fail("VERIFICATION FAILED: psgl=%d oracle=%d", res.Count, want)
 		}
-		fmt.Fprintln(os.Stderr, "verified against the single-thread oracle")
+		fmt.Fprintln(stderr, "verified against the single-thread oracle")
 	}
 	if *showStats {
 		s := res.Stats
-		fmt.Fprintf(os.Stderr, "supersteps:       %d\n", s.Supersteps)
-		fmt.Fprintf(os.Stderr, "initial vertex:   v%d\n", s.InitialVertex+1)
-		fmt.Fprintf(os.Stderr, "gpsi generated:   %d\n", s.GpsiGenerated)
-		fmt.Fprintf(os.Stderr, "pruned: degree=%d order=%d index=%d injective=%d verify=%d\n",
+		fmt.Fprintf(stderr, "supersteps:       %d\n", s.Supersteps)
+		fmt.Fprintf(stderr, "initial vertex:   v%d\n", s.InitialVertex+1)
+		fmt.Fprintf(stderr, "gpsi generated:   %d\n", s.GpsiGenerated)
+		fmt.Fprintf(stderr, "pruned: degree=%d order=%d index=%d injective=%d verify=%d\n",
 			s.PrunedByDegree, s.PrunedByOrder, s.PrunedByIndex, s.PrunedByInjectivity, s.PrunedByVerify)
-		fmt.Fprintf(os.Stderr, "index queries:    %d (index %d bytes)\n", s.EdgeIndexQueries, s.EdgeIndexBytes)
-		fmt.Fprintf(os.Stderr, "load makespan:    %.0f units\n", s.LoadMakespan)
+		fmt.Fprintf(stderr, "index queries:    %d (index %d bytes)\n", s.EdgeIndexQueries, s.EdgeIndexBytes)
+		fmt.Fprintf(stderr, "load makespan:    %.0f units\n", s.LoadMakespan)
 		if s.Recoveries > 0 {
-			fmt.Fprintf(os.Stderr, "recoveries:       %d checkpoint restores\n", s.Recoveries)
+			fmt.Fprintf(stderr, "recoveries:       %d checkpoint restores\n", s.Recoveries)
 		}
-		fmt.Fprintf(os.Stderr, "wall time:        %v\n", s.WallTime)
+		fmt.Fprintf(stderr, "wall time:        %v\n", s.WallTime)
 	}
+	return 0
 }
 
 // explainInitialVertex prints the Algorithm 4 cost estimate for every
 // possible initial pattern vertex and the rule-based recommendation.
-func explainInitialVertex(g *psgl.Graph, p *psgl.Pattern) {
+func explainInitialVertex(w io.Writer, g *psgl.Graph, p *psgl.Pattern) {
 	broken := p.BreakAutomorphisms()
 	dist := stats.FromHistogram(g.DegreeHistogram())
-	fmt.Printf("initial-vertex cost estimates for %s (data graph: %d vertices, %d edges)\n",
+	fmt.Fprintf(w, "initial-vertex cost estimates for %s (data graph: %d vertices, %d edges)\n",
 		broken, g.NumVertices(), g.NumEdges())
 	best := core.SelectInitialVertex(broken, dist)
 	for v := 0; v < broken.N(); v++ {
@@ -164,11 +247,11 @@ func explainInitialVertex(g *psgl.Graph, p *psgl.Pattern) {
 		if v == best {
 			marker = "*"
 		}
-		fmt.Printf("%s v%d: estimated Gpsi volume %.3g\n",
+		fmt.Fprintf(w, "%s v%d: estimated Gpsi volume %.3g\n",
 			marker, v+1, core.EstimateInitialVertexCost(broken, dist, v))
 	}
 	if broken.IsCycle() || broken.IsClique() {
-		fmt.Printf("pattern is a %s: Theorem 5 rule applies, lowest-rank vertex v%d is optimal\n",
+		fmt.Fprintf(w, "pattern is a %s: Theorem 5 rule applies, lowest-rank vertex v%d is optimal\n",
 			kindOf(broken), broken.LowestRankVertex()+1)
 	}
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psgl/internal/obs"
+)
+
+// runCLI invokes run() in-process and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"negative workers", []string{"-gen", "er:50:100", "-workers", "-3"}, "-workers must be >= 1"},
+		{"zero workers", []string{"-gen", "er:50:100", "-workers", "0"}, "-workers must be >= 1"},
+		{"zero supersteps", []string{"-gen", "er:50:100", "-max-supersteps", "0"}, "-max-supersteps must be positive"},
+		{"negative supersteps", []string{"-gen", "er:50:100", "-max-supersteps", "-1"}, "-max-supersteps must be positive"},
+		{"unknown strategy", []string{"-gen", "er:50:100", "-strategy", "alphabetical"}, `unknown strategy "alphabetical"`},
+		{"bad alpha", []string{"-gen", "er:50:100", "-alpha", "1.5"}, "-alpha must be in (0, 1]"},
+		{"zero retries", []string{"-gen", "er:50:100", "-exchange-retries", "0"}, "-exchange-retries must be >= 1"},
+		{"resume without dir", []string{"-gen", "er:50:100", "-resume"}, "-resume requires -checkpoint-dir"},
+		{"recoveries without dir", []string{"-gen", "er:50:100", "-max-recoveries", "2"}, "-max-recoveries requires -checkpoint-dir"},
+		{"no graph source", []string{"-pattern", "pg1"}, "one of -graph or -gen is required"},
+		{"both graph sources", []string{"-graph", "x.txt", "-gen", "er:50:100"}, "either -graph or -gen, not both"},
+		{"unknown pattern", []string{"-gen", "er:50:100", "-pattern", "pg99"}, "pg99"},
+		{"trailing args", []string{"-gen", "er:50:100", "extra"}, "unexpected arguments"},
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("args %v: stderr %q, want it to contain %q", tc.args, stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestRunCountsTriangles(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-gen", "er:200:800", "-pattern", "pg1", "-workers", "2", "-verify")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "verified against the single-thread oracle") {
+		t.Fatalf("oracle verification missing from stderr:\n%s", stderr)
+	}
+	if strings.TrimSpace(stdout) == "" {
+		t.Fatalf("no count on stdout")
+	}
+}
+
+func TestRunWritesTraceAndReport(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+	code, _, stderr := runCLI(t,
+		"-gen", "er:200:800", "-pattern", "pg1", "-workers", "2", "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "== observability report ==") {
+		t.Fatalf("report missing from stderr:\n%s", stderr)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("trace not valid JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if events[0].Type != obs.EventRunStart {
+		t.Fatalf("first event = %v, want run_start", events[0].Type)
+	}
+	if last := events[len(events)-1]; last.Type != obs.EventRunEnd {
+		t.Fatalf("last event = %v, want run_end", last.Type)
+	}
+}
+
+func TestExplainExitsCleanly(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-gen", "er:100:300", "-pattern", "pg2", "-explain")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "initial-vertex cost estimates") {
+		t.Fatalf("explain output missing:\n%s", stdout)
+	}
+}

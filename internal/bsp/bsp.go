@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"psgl/internal/graph"
+	"psgl/internal/obs"
 )
 
 // Envelope is one message addressed to a data vertex.
@@ -91,6 +92,12 @@ type Config struct {
 	// checkpoint (or restarting from scratch when no checkpoint exists yet).
 	// 0 disables in-run recovery.
 	MaxRecoveries int
+	// Observer receives the run's metrics and trace events (superstep
+	// timings, exchange volume, transport frames and bytes, checkpoint and
+	// recovery events). Nil disables observation entirely; every hook is a
+	// nil-receiver no-op, and no hook runs per message, so the compute hot
+	// path is unaffected either way.
+	Observer *obs.Observer
 }
 
 // ErrAborted wraps the error passed to Context.Abort.
@@ -203,7 +210,7 @@ func Run[M any](cfg Config, prog Program[M]) (*RunStats, error) {
 // message boundary within a superstep) once ctx is done, and ctx deadlines
 // bound the exchange's network operations. Config.StepTimeout additionally
 // derives a per-superstep deadline from ctx.
-func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunStats, error) {
+func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats *RunStats, rerr error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("bsp: need >= 1 worker, have %d", cfg.Workers)
 	}
@@ -221,7 +228,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		maxSteps = 1 << 20
 	}
 	buildExchange := func() (Exchange[M], error) {
-		return newExchangeFromFactory[M](cfg.Exchange, cfg.Workers)
+		return newExchangeFromFactory[M](cfg.Exchange, cfg.Workers, cfg.Observer)
 	}
 	exchange, err := buildExchange()
 	if err != nil {
@@ -269,6 +276,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 	}
 
 	if cfg.ResumeFrom != nil {
+		resumeStart := time.Now()
 		snap, err := loadSnapshot[M](cfg.ResumeFrom)
 		switch {
 		case errors.Is(err, ErrNoCheckpoint):
@@ -280,15 +288,26 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 				return nil, fmt.Errorf("bsp: resume: %w", err)
 			}
 			startStep = snap.Step
+			cfg.Observer.Resumed(startStep, time.Since(resumeStart))
 		}
 	}
+
+	cfg.Observer.RunStarted(k, startStep)
+	defer func() {
+		// The logical end state comes from RunStats, which rolls back with
+		// barrier snapshots — exactly-once regardless of replays.
+		if rstats != nil {
+			cfg.Observer.RunEnded(rstats.Supersteps, rstats.MessagesTotal, rstats.Counters,
+				rstats.WorkerTime, rstats.WorkerMessages, rerr)
+		}
+	}()
 
 	runStep := func(stepCtx context.Context, step int) (outAll [][][]Envelope[M], produced int64) {
 		outAll = make([][][]Envelope[M], k)
 		stepTimes := make([]time.Duration, k)
 		counterSets := make([]map[string]int64, k)
 		var wg sync.WaitGroup
-		var producedAtomic atomic.Int64
+		var producedAtomic, processedAtomic atomic.Int64
 		done := stepCtx.Done()
 		for w := 0; w < k; w++ {
 			wg.Add(1)
@@ -329,6 +348,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 				outAll[w] = ctx.out
 				counterSets[w] = ctx.local
 				producedAtomic.Add(ctx.sent)
+				processedAtomic.Add(processed)
 				stats.WorkerMessages[w] += processed
 			}(w)
 		}
@@ -340,6 +360,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 			}
 		}
 		stats.PerStepWorkerTime = append(stats.PerStepWorkerTime, stepTimes)
+		cfg.Observer.StepComputed(step, stepTimes, processedAtomic.Load(), producedAtomic.Load())
 		return outAll, producedAtomic.Load()
 	}
 
@@ -352,12 +373,14 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 			return 0, cause
 		}
 		stats.Recoveries++
+		cfg.Observer.RecoveryStarted(step, cause)
 		exchange.Close()
 		next, err := buildExchange()
 		if err != nil {
 			return 0, fmt.Errorf("rebuilding exchange after step %d: %v (original failure: %w)", step, err, cause)
 		}
 		exchange = next
+		restoreStart := time.Now()
 		snap, err := loadSnapshot[M](cfg.CheckpointStore)
 		switch {
 		case errors.Is(err, ErrNoCheckpoint):
@@ -372,6 +395,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 					return 0, fmt.Errorf("resetting program state after step %d: %v (original failure: %w)", step, err, cause)
 				}
 			}
+			cfg.Observer.RestartedFromScratch(step)
 			return 0, nil
 		case err != nil:
 			return 0, fmt.Errorf("loading checkpoint after step %d: %v (original failure: %w)", step, err, cause)
@@ -379,6 +403,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 			if err := restore(snap); err != nil {
 				return 0, err
 			}
+			cfg.Observer.CheckpointRestored(snap.Step, time.Since(restoreStart))
 			return snap.Step, nil
 		}
 	}
@@ -394,12 +419,14 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		if cfg.StepTimeout > 0 {
 			stepCtx, cancel = context.WithTimeout(ctx, cfg.StepTimeout)
 		}
+		cfg.Observer.StepStarted(step)
 		outAll, produced := runStep(stepCtx, step)
 		stats.Supersteps = step + 1
 		stats.PerStepMessages = append(stats.PerStepMessages, produced)
 		stats.MessagesTotal += produced
 		if errp := abortPtr.Load(); errp != nil {
 			cancel()
+			cfg.Observer.Aborted(step, *errp)
 			return stats, fmt.Errorf("%w: %v", ErrAborted, *errp)
 		}
 		if err := stepCtx.Err(); err != nil {
@@ -416,14 +443,22 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 			return stats, nil
 		}
 		var next [][]Envelope[M]
+		exStart := time.Now()
+		attempt := 0
 		exErr := withRetry(stepCtx, cfg.Retry, func() error {
+			attempt++
 			n, err := exchange.Exchange(stepCtx, step, outAll)
 			if err == nil {
 				next = n
+				return nil
 			}
+			cfg.Observer.ExchangeFailed(step, attempt, err)
 			return err
 		})
 		cancel()
+		if exErr == nil {
+			cfg.Observer.ExchangeDone(step, time.Since(exStart), produced)
+		}
 		if exErr != nil {
 			resume, rerr := recoverRun(step, fmt.Errorf("exchange failed at step %d: %w", step, exErr))
 			if rerr != nil {
@@ -434,9 +469,12 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (*RunSt
 		}
 		inboxes = next
 		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
-			if err := saveSnapshot[M](cfg.CheckpointStore, step+1, inboxes, stats, snapper); err != nil {
+			ckStart := time.Now()
+			nbytes, err := saveSnapshot[M](cfg.CheckpointStore, step+1, inboxes, stats, snapper)
+			if err != nil {
 				return stats, fmt.Errorf("bsp: checkpoint at step %d: %w", step+1, err)
 			}
+			cfg.Observer.CheckpointSaved(step+1, nbytes, time.Since(ckStart))
 		}
 	}
 }

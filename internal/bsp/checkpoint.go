@@ -11,9 +11,11 @@ package bsp
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,6 +25,45 @@ import (
 
 // ErrNoCheckpoint reports that a store holds no snapshot yet.
 var ErrNoCheckpoint = errors.New("bsp: no checkpoint available")
+
+// ErrCorruptCheckpoint reports that a stored snapshot failed integrity
+// verification — wrong magic, checksum mismatch (truncation, bit rot), or an
+// undecodable payload. It surfaces wrapped from Config.ResumeFrom and in-run
+// recovery, so callers can distinguish "the checkpoint is damaged" from "the
+// store is empty" (ErrNoCheckpoint) with errors.Is.
+var ErrCorruptCheckpoint = errors.New("bsp: corrupt checkpoint")
+
+// Snapshot file layout: an 8-byte magic, a CRC-32 (IEEE) of the payload, then
+// the gob-encoded snapshot. Gob alone cannot detect most single-bit flips —
+// it would happily decode damaged inboxes — so the checksum is what turns
+// silent corruption into ErrCorruptCheckpoint.
+const checkpointMagic = "PSGLCKP1"
+
+const checkpointHeaderLen = len(checkpointMagic) + 4
+
+// sealSnapshot prepends the magic + checksum header to a gob payload.
+func sealSnapshot(payload []byte) []byte {
+	out := make([]byte, 0, checkpointHeaderLen+len(payload))
+	out = append(out, checkpointMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// openSnapshot verifies and strips the header, returning the gob payload.
+func openSnapshot(data []byte) ([]byte, error) {
+	if len(data) < checkpointHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, below the %d-byte header", ErrCorruptCheckpoint, len(data), checkpointHeaderLen)
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, data[:len(checkpointMagic)])
+	}
+	want := binary.LittleEndian.Uint32(data[len(checkpointMagic):])
+	payload := data[checkpointHeaderLen:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptCheckpoint, want, got)
+	}
+	return payload, nil
+}
 
 // CheckpointStore persists encoded barrier snapshots. Save replaces the
 // store's notion of "latest" with the given step; Load returns the latest
@@ -44,20 +85,26 @@ type snapshot[M any] struct {
 	Prog    []byte
 }
 
-func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats, snapper Snapshotter) error {
+// saveSnapshot encodes, seals, and stores the barrier state, returning the
+// number of bytes written to the store.
+func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats, snapper Snapshotter) (int, error) {
 	var buf bytes.Buffer
 	snap := snapshot[M]{Step: step, Inboxes: inboxes, Stats: *stats}
 	if snapper != nil {
 		prog, err := snapper.SnapshotState()
 		if err != nil {
-			return fmt.Errorf("snapshot program state: %w", err)
+			return 0, fmt.Errorf("snapshot program state: %w", err)
 		}
 		snap.Prog = prog
 	}
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
-		return fmt.Errorf("encode snapshot: %w", err)
+		return 0, fmt.Errorf("encode snapshot: %w", err)
 	}
-	return store.Save(step, buf.Bytes())
+	sealed := sealSnapshot(buf.Bytes())
+	if err := store.Save(step, sealed); err != nil {
+		return 0, err
+	}
+	return len(sealed), nil
 }
 
 func loadSnapshot[M any](store CheckpointStore) (*snapshot[M], error) {
@@ -65,9 +112,13 @@ func loadSnapshot[M any](store CheckpointStore) (*snapshot[M], error) {
 	if err != nil {
 		return nil, err
 	}
+	payload, err := openSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot for step %d: %w", step, err)
+	}
 	var snap snapshot[M]
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("decode snapshot for step %d: %w", step, err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: decode snapshot for step %d: %v", ErrCorruptCheckpoint, step, err)
 	}
 	// Gob omits zero-valued fields; re-materialize what restore expects.
 	if snap.Stats.Counters == nil {

@@ -11,6 +11,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"psgl/internal/obs"
 )
 
 // TCPConfig tunes the hardened loopback TCP exchange. The zero value gets
@@ -66,14 +68,14 @@ type tcpFactory struct{ cfg TCPConfig }
 
 func (tcpFactory) kind() string { return "tcp" }
 
-func newExchangeFromFactory[M any](f ExchangeFactory, workers int) (Exchange[M], error) {
+func newExchangeFromFactory[M any](f ExchangeFactory, workers int, o *obs.Observer) (Exchange[M], error) {
 	switch ff := f.(type) {
 	case nil:
 		return localExchange[M]{}, nil
 	case tcpFactory:
-		return newTCPExchange[M](workers, ff.cfg.withDefaults())
+		return newTCPExchange[M](workers, ff.cfg.withDefaults(), o)
 	case faultyFactory:
-		inner, err := newExchangeFromFactory[M](ff.inner, workers)
+		inner, err := newExchangeFromFactory[M](ff.inner, workers, o)
 		if err != nil {
 			return nil, err
 		}
@@ -94,6 +96,7 @@ type tcpExchange[M any] struct {
 	workers  int
 	cfg      TCPConfig
 	wire     bool // *M implements WireMessage: binary frames instead of gob
+	obs      *obs.Observer
 	listener net.Listener
 	// enc[src][dst] / dec[dst][src] wrap the K×K mesh in gob mode (nil on
 	// the diagonal and in wire mode); in wire mode brIn[dst][src] buffers
@@ -129,12 +132,12 @@ func appendHandshake(dst []byte, src, dstW int) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(dstW))
 }
 
-func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
+func newTCPExchange[M any](workers int, cfg TCPConfig, o *obs.Observer) (Exchange[M], error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
 	}
-	ex := &tcpExchange[M]{workers: workers, cfg: cfg, wire: messageIsWire[M](), listener: ln}
+	ex := &tcpExchange[M]{workers: workers, cfg: cfg, wire: messageIsWire[M](), obs: o, listener: ln}
 	ex.enc = make([][]*gob.Encoder, workers)
 	ex.dec = make([][]*gob.Decoder, workers)
 	ex.brIn = make([][]*bufio.Reader, workers)
@@ -202,6 +205,10 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 				ex.connIn[dst][src] = conn
 				if ex.wire {
 					ex.brIn[dst][src] = bufio.NewReaderSize(conn, 64<<10)
+				} else if ex.obs != nil {
+					// Gob frames have no length prefix, so byte accounting
+					// happens below the decoder.
+					ex.dec[dst][src] = gob.NewDecoder(countingReader{conn, ex.obs})
 				} else {
 					ex.dec[dst][src] = gob.NewDecoder(conn)
 				}
@@ -240,7 +247,11 @@ func newTCPExchange[M any](workers int, cfg TCPConfig) (Exchange[M], error) {
 				mu.Lock()
 				ex.connOut[src][dst] = conn
 				if !ex.wire {
-					ex.enc[src][dst] = gob.NewEncoder(conn)
+					if ex.obs != nil {
+						ex.enc[src][dst] = gob.NewEncoder(countingWriter{conn, ex.obs})
+					} else {
+						ex.enc[src][dst] = gob.NewEncoder(conn)
+					}
 				}
 				mu.Unlock()
 			}(src, dst)
@@ -283,18 +294,50 @@ func firstSetupError(errs []error) error {
 	return errs[0]
 }
 
+// countingWriter / countingReader feed the observer's raw byte counters on
+// the gob path, where frames carry no length prefix to count from.
+type countingWriter struct {
+	w io.Writer
+	o *obs.Observer
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.o.AddBytesSent(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	o *obs.Observer
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.o.AddBytesRecv(int64(n))
+	return n, err
+}
+
 // sendFrame writes one batch to the (src, dst) conn in the exchange's mode.
 // In wire mode the whole frame is staged in a pooled buffer and written with
 // a single syscall.
 func (ex *tcpExchange[M]) sendFrame(src, dst, step int, batch []Envelope[M]) error {
 	ex.connOut[src][dst].SetWriteDeadline(ex.frameDeadline)
 	if !ex.wire {
-		return ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: batch})
+		if err := ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: batch}); err != nil {
+			return err
+		}
+		ex.obs.AddFrameSent(false, 0) // bytes counted by countingWriter
+		return nil
 	}
 	bp := getWireBuf(0)
 	*bp = AppendWireFrame(*bp, step, batch)
+	n := len(*bp)
 	_, err := ex.connOut[src][dst].Write(*bp)
 	putWireBuf(bp)
+	if err == nil {
+		ex.obs.AddFrameSent(true, int64(n))
+	}
 	return err
 }
 
@@ -306,23 +349,13 @@ func (ex *tcpExchange[M]) recvFrame(dst, src int) (int, []Envelope[M], error) {
 		if err := ex.dec[dst][src].Decode(&fr); err != nil {
 			return 0, nil, err
 		}
+		ex.obs.AddFrameRecv(false, 0) // bytes counted by countingReader
 		return fr.Step, fr.Batch, nil
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(ex.brIn[dst][src], hdr[:]); err != nil {
-		return 0, nil, err
+	step, batch, n, err := readWireFrame[M](ex.brIn[dst][src])
+	if err == nil {
+		ex.obs.AddFrameRecv(true, int64(n))
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n < 8 || n > 1<<30 {
-		return 0, nil, fmt.Errorf("implausible frame length %d", n)
-	}
-	bp := getWireBuf(n)
-	if _, err := io.ReadFull(ex.brIn[dst][src], *bp); err != nil {
-		putWireBuf(bp)
-		return 0, nil, err
-	}
-	step, batch, err := DecodeWireFrame[M](*bp)
-	putWireBuf(bp)
 	return step, batch, err
 }
 

@@ -11,6 +11,7 @@ package bsp
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"psgl/internal/graph"
@@ -90,6 +91,46 @@ func AppendWireFrame[M any](buf []byte, step int, batch []Envelope[M]) []byte {
 	return buf
 }
 
+// maxEagerFrame is the largest payload read into a pooled buffer in one
+// shot. Larger (rare, or adversarial) lengths are read incrementally, so a
+// lying prefix can only cost as much memory as bytes actually arrive.
+const maxEagerFrame = 1 << 20
+
+// readWireFrame reads one length-prefixed frame from r and decodes it,
+// returning the total bytes consumed (prefix included). The length is
+// validated before any allocation, so truncated, oversized, or garbage
+// prefixes fail cleanly — FuzzFrameDecode drives this path directly.
+func readWireFrame[M any](r io.Reader) (step int, batch []Envelope[M], frameBytes int, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < wireFrameHeader-4 || n > 1<<30 {
+		return 0, nil, 0, fmt.Errorf("implausible frame length %d", n)
+	}
+	if n > maxEagerFrame {
+		// ReadAll grows its buffer as data arrives instead of trusting n.
+		buf, err := io.ReadAll(io.LimitReader(r, int64(n)))
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if len(buf) < n {
+			return 0, nil, 0, io.ErrUnexpectedEOF
+		}
+		step, batch, err = DecodeWireFrame[M](buf)
+		return step, batch, 4 + n, err
+	}
+	bp := getWireBuf(n)
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		putWireBuf(bp)
+		return 0, nil, 0, err
+	}
+	step, batch, err = DecodeWireFrame[M](*bp)
+	putWireBuf(bp)
+	return step, batch, 4 + n, err
+}
+
 // DecodeWireFrame decodes a frame payload (everything after the length
 // prefix) into a fresh envelope slice. Exported for the hot-path
 // microbenchmarks and for custom exchanges.
@@ -104,6 +145,9 @@ func DecodeWireFrame[M any](payload []byte) (step int, batch []Envelope[M], err 
 		return 0, nil, fmt.Errorf("wire frame: implausible envelope count %d for %d bytes", count, len(rest))
 	}
 	if count == 0 {
+		if len(rest) != 0 {
+			return 0, nil, fmt.Errorf("wire frame: %d trailing bytes", len(rest))
+		}
 		return step, nil, nil
 	}
 	batch = make([]Envelope[M], count)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"psgl/internal/bsp"
+	"psgl/internal/centralized"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+)
+
+// embeddingKey renders one mapping (pattern vertex -> data vertex) as a
+// comparable string. Mappings are compared position-by-position, not as
+// vertex sets: both sides break automorphisms with the same canonical rule,
+// so each instance must surface as the exact same tuple.
+func embeddingKey(mapping []graph.VertexID) string {
+	s := ""
+	for i, v := range mapping {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+// oracleEmbeddings lists every instance via the centralized single-thread
+// oracle, as a sorted multiset of embedding keys.
+func oracleEmbeddings(p *pattern.Pattern, g *graph.Graph) []string {
+	var keys []string
+	centralized.ListInstances(p.BreakAutomorphisms(), g, func(m []graph.VertexID) bool {
+		keys = append(keys, embeddingKey(m))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// TestDifferentialOracleEmbeddings is the differential property suite:
+// randomized Chung–Lu graphs × every catalog pattern × all three
+// distribution strategies × both exchange transports, with the full
+// embedding multiset — not just the count — required to match the
+// centralized oracle exactly.
+func TestDifferentialOracleEmbeddings(t *testing.T) {
+	patterns := []*pattern.Pattern{
+		pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5(),
+	}
+	strategies := []Strategy{StrategyRandom, StrategyRoulette, StrategyWorkloadAware}
+	exchanges := []struct {
+		name    string
+		factory bsp.ExchangeFactory
+		workers int
+	}{
+		{"local", nil, 4},
+		{"tcp", bsp.NewTCPExchangeFactory(), 3},
+	}
+
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		// Skewed Chung–Lu graphs exercise the load-balancing paths that
+		// uniform Erdős–Rényi graphs (engine_test.go) do not.
+		g := gen.ChungLu(70, 300, 2.3, seed)
+		for _, p := range patterns {
+			want := oracleEmbeddings(p, g)
+			for _, strat := range strategies {
+				for _, ex := range exchanges {
+					if testing.Short() && ex.name == "tcp" && strat != StrategyWorkloadAware {
+						continue
+					}
+					name := fmt.Sprintf("seed%d/%s/%s/%s", seed, p.Name(), strat, ex.name)
+					t.Run(name, func(t *testing.T) {
+						res, err := Run(g, p, Options{
+							Workers:  ex.workers,
+							Strategy: strat,
+							Seed:     seed,
+							Collect:  true,
+							Exchange: ex.factory,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := make([]string, 0, len(res.Instances))
+						for _, inst := range res.Instances {
+							got = append(got, embeddingKey(inst))
+						}
+						sort.Strings(got)
+						if len(got) != len(want) {
+							t.Fatalf("%d embeddings, oracle has %d", len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("embedding multiset diverges at #%d: engine %q, oracle %q", i, got[i], want[i])
+							}
+						}
+						if res.Count != int64(len(want)) {
+							t.Fatalf("Count = %d, %d embeddings collected", res.Count, len(want))
+						}
+					})
+				}
+			}
+		}
+	}
+}

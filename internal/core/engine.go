@@ -81,6 +81,7 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 		CheckpointStore: opts.CheckpointStore,
 		ResumeFrom:      opts.ResumeFrom,
 		MaxRecoveries:   opts.MaxRecoveries,
+		Observer:        opts.Observer,
 	}
 	start := time.Now()
 	runStats, err := bsp.RunContext[gpsi](ctx, cfg, e)
@@ -636,6 +637,9 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 	if e.ix != nil {
 		st.EdgeIndexBytes = e.ix.SizeBytes()
 	}
+	// The observer's logical view mirrors the same exactly-once accumulators
+	// Stats is built from (the loads ride barrier snapshots).
+	e.opts.Observer.RecordWorkerLoads(e.loads)
 	// Load makespan (Equation 3 with the cost-model load units): sum over
 	// supersteps of the heaviest worker's load. Deterministic and
 	// independent of the physical core count.

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"psgl/internal/graph"
+)
+
+// FuzzGpsiDecode drives the Gpsi wire codec with arbitrary bytes.
+// Invariants:
+//
+//  1. DecodeWire never panics and never over-reads: the returned rest is
+//     exactly the unconsumed suffix of the input.
+//  2. A successful decode re-encodes byte-identically to the consumed
+//     prefix, and that encoding decodes back to the same value with nothing
+//     left over — valid inputs round-trip.
+func FuzzGpsiDecode(f *testing.F) {
+	valid := gpsi{N: 3, Next: 1, Expanded: 0b001, Pending: 0}
+	valid.Map = [maxPatternVertices]graph.VertexID{5, 7, 9}
+	for i := int(valid.N); i < maxPatternVertices; i++ {
+		valid.Map[i] = unmapped
+	}
+	f.Add(valid.AppendWire(nil))
+
+	full := gpsi{N: maxPatternVertices, Next: 15, Expanded: 0xffff, Pending: 0xdeadbeef}
+	for i := range full.Map {
+		full.Map[i] = graph.VertexID(i * 1000)
+	}
+	f.Add(full.AppendWire(nil))
+	f.Add(append(valid.AppendWire(nil), valid.AppendWire(nil)...)) // two back to back
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})                          // N = 0: out of range
+	f.Add([]byte{17, 0, 0, 0, 0, 0, 0, 0})                         // N > 16: out of range
+	f.Add([]byte{5, 1, 2, 3, 4, 5, 6, 7})                          // header only, body missing
+	f.Add([]byte("short"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m gpsi
+		rest, err := m.DecodeWire(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		want := gpsiWireHeader + 4*int(m.N)
+		if consumed != want {
+			t.Fatalf("consumed %d bytes, encoding of N=%d is %d", consumed, m.N, want)
+		}
+		if len(rest) > 0 && !bytes.Equal(rest, data[consumed:]) {
+			t.Fatalf("rest is not the input's suffix")
+		}
+		re := m.AppendWire(nil)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data[:consumed], re)
+		}
+		var m2 gpsi
+		rest2, err := m2.DecodeWire(re)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("%d bytes left after re-decoding own encoding", len(rest2))
+		}
+		if m2 != m {
+			t.Fatalf("round trip changed the value:\n in: %+v\nout: %+v", m, m2)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"psgl/internal/bsp"
 	"psgl/internal/graph"
+	"psgl/internal/obs"
 )
 
 // Strategy selects how new partial subgraph instances choose their next
@@ -134,6 +135,13 @@ type Options struct {
 	// rebuilding the exchange and restoring the latest checkpoint. 0
 	// disables in-run recovery.
 	MaxRecoveries int
+	// Observer receives the run's metrics and trace events: superstep
+	// timings, message and transport volume, checkpoint/recovery events, and
+	// — at run end — the engine counters and per-worker loads that Stats is
+	// built from, so the observer's logical view matches Stats bit-for-bit
+	// on clean, recovered, and resumed runs alike. Nil disables observation
+	// at zero cost.
+	Observer *obs.Observer
 }
 
 // NewOptions returns the defaults spelled out explicitly.

@@ -23,6 +23,7 @@ import (
 	"psgl/internal/datasets"
 	"psgl/internal/graph"
 	"psgl/internal/graphchi"
+	"psgl/internal/obs"
 	"psgl/internal/onehop"
 	"psgl/internal/pattern"
 	"psgl/internal/sgia"
@@ -66,8 +67,20 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
 }
 
+// Observer, when non-nil, is attached to every PSgL engine run an experiment
+// performs — the plumbing behind psgl-bench's -trace and -pprof-addr flags.
+var Observer *obs.Observer
+
+// obsOpts attaches the package Observer unless the options carry their own.
+func obsOpts(opts core.Options) core.Options {
+	if opts.Observer == nil {
+		opts.Observer = Observer
+	}
+	return opts
+}
+
 func runPSgL(g *graph.Graph, p *pattern.Pattern, opts core.Options) *core.Result {
-	res, err := core.Run(g, p, opts)
+	res, err := core.Run(g, p, obsOpts(opts))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: psgl %s: %v", p.Name(), err))
 	}
@@ -218,7 +231,7 @@ func Table2() string {
 			DisableEdgeIndex: true,
 			MaxIntermediate:  row.budget,
 		}
-		res, err := core.Run(g, row.pat, withoutOpts)
+		res, err := core.Run(g, row.pat, obsOpts(withoutOpts))
 		var withoutCell, ratioCell string
 		if err != nil {
 			withoutCell, ratioCell = "OOM", "unknown"
@@ -347,7 +360,7 @@ func Table4() string {
 	r.row("graph", "pattern", "order", "Afrati", "PowerGraph~", "PSgL", "count")
 	for _, row := range rows {
 		g := datasets.MustLoad(row.graph)
-		ps, psErr := core.Run(g, row.pat, core.Options{Workers: workers, MaxIntermediate: 30_000_000})
+		ps, psErr := core.Run(g, row.pat, obsOpts(core.Options{Workers: workers, MaxIntermediate: 30_000_000}))
 		psCell := "OOM"
 		var count int64 = -1
 		if psErr == nil {

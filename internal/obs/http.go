@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]*Observer{}
+)
+
+// PublishExpvar registers the Observer's snapshot under `name` in the
+// process-wide expvar registry (served at /debug/vars). Publishing the same
+// name again rebinds it to o instead of panicking, so tests and repeated CLI
+// runs in one process are safe.
+func PublishExpvar(name string, o *Observer) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ok := expvarPublished[name]; !ok {
+		n := name
+		expvar.Publish(n, expvar.Func(func() any {
+			expvarMu.Lock()
+			cur := expvarPublished[n]
+			expvarMu.Unlock()
+			return cur.Snapshot()
+		}))
+	}
+	expvarPublished[name] = o
+}
+
+// Handler returns the debug mux: expvar at /debug/vars, the pprof suite at
+// /debug/pprof/*, and the Observer's JSON snapshot at /debug/obs. A private
+// mux keeps the profiling endpoints off http.DefaultServeMux.
+func Handler(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Snapshot())
+	})
+	return mux
+}
+
+// ServeDebug starts the debug server on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address — useful with ":0".
+// The server lives for the rest of the process; CLIs call this once. The
+// observer is also published as the expvar "psgl", so /debug/vars carries
+// the snapshot alongside the runtime's own variables.
+func ServeDebug(addr string, o *Observer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	PublishExpvar("psgl", o)
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -36,6 +36,7 @@ import (
 	"psgl/internal/gen"
 	"psgl/internal/graph"
 	"psgl/internal/graphchi"
+	"psgl/internal/obs"
 	"psgl/internal/onehop"
 	"psgl/internal/pattern"
 	"psgl/internal/sgia"
@@ -154,6 +155,44 @@ func NewMemCheckpointStore() CheckpointStore { return bsp.NewMemCheckpointStore(
 func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
 	return bsp.NewFileCheckpointStore(dir)
 }
+
+// ErrCorruptCheckpoint reports a stored snapshot that failed integrity
+// verification (bad magic, checksum mismatch, undecodable payload); surfaced
+// wrapped from runs using Options.ResumeFrom, distinguishable with errors.Is.
+var ErrCorruptCheckpoint = bsp.ErrCorruptCheckpoint
+
+// Observability (internal/obs): per-superstep timings, transport volume,
+// checkpoint/recovery trace, end-of-run report. Attach an Observer to
+// Options.Observer; a nil Observer is a no-op, and with the default NopSink
+// the engine's per-message hot path is untouched (no hooks run per message).
+type (
+	// Observer collects one run's metrics and forwards trace events to a
+	// Sink. Its logical counters (Counters, worker loads) match Stats
+	// bit-for-bit on clean, recovered, and resumed runs alike.
+	Observer = obs.Observer
+	// Sink receives structured trace events.
+	Sink = obs.Sink
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// ObsSnapshot is a point-in-time copy of an Observer's counters.
+	ObsSnapshot = obs.Snapshot
+)
+
+// NewObserver returns an Observer emitting to sink; nil means the no-op sink.
+func NewObserver(sink Sink) *Observer { return obs.New(sink) }
+
+// NewRingSink returns an in-memory sink retaining the last n events.
+func NewRingSink(n int) *obs.Ring { return obs.NewRing(n) }
+
+// NewJSONLSink returns a sink writing one JSON event per line to w — the
+// trace-file format behind the CLIs' -trace flag.
+func NewJSONLSink(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// ServeDebug starts the observability debug server (expvar counters at
+// /debug/vars, net/http/pprof at /debug/pprof/, the observer snapshot at
+// /debug/obs) on addr and returns the bound address; the CLIs' -pprof-addr
+// flag calls this.
+func ServeDebug(addr string, o *Observer) (string, error) { return obs.ServeDebug(addr, o) }
 
 // Graph construction.
 

@@ -9,7 +9,9 @@
 // table2, fig7, table3, table4, fig8, makespan, hotpath, or all.
 //
 // `psgl-bench hotpath` additionally writes the machine-readable baseline to
-// BENCH_hotpath.json in the current directory.
+// BENCH_hotpath.json in the current directory; `psgl-bench serve` does the
+// same for the resident query service (qps and latency percentiles at
+// increasing client concurrency) into BENCH_serve.json.
 //
 // Observability: `psgl-bench -trace out.jsonl <experiment>` attaches an
 // observer to every PSgL run the experiment performs, writes the JSONL event
@@ -44,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|all>")
+		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "baseline written to BENCH_hotpath.json")
+	}
+	if name == "serve" {
+		data, err := experiments.ServeJSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile("BENCH_serve.json", data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "baseline written to BENCH_serve.json")
 	}
 	fmt.Fprintf(stdout, "(experiment %s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
 	return 0

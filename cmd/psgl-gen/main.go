@@ -11,7 +11,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"psgl"
@@ -19,50 +19,72 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("psgl-gen: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so CLI behavior — flag
+// validation above all — is testable in-process. It returns the exit code:
+// 0 on success, 2 on usage errors, 1 on runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "psgl-gen: "+format+"\n", a...)
+		return 1
+	}
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "psgl-gen: "+format+"\n", a...)
+		return 2
+	}
+
+	fs := flag.NewFlagSet("psgl-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		genSpec = flag.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
-		dataset = flag.String("dataset", "", fmt.Sprintf("named dataset analogue: %v", datasets.Names()))
-		seed    = flag.Int64("seed", 1, "generator seed")
-		out     = flag.String("o", "", "output file (default stdout)")
+		genSpec = fs.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
+		dataset = fs.String("dataset", "", fmt.Sprintf("named dataset analogue: %v", datasets.Names()))
+		seed    = fs.Int64("seed", 1, "generator seed")
+		out     = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return usage("unexpected arguments %q", fs.Args())
+	}
 
 	var g *psgl.Graph
 	switch {
 	case *genSpec != "" && *dataset != "":
-		log.Fatal("pass either -gen or -dataset, not both")
+		return usage("pass either -gen or -dataset, not both")
 	case *dataset != "":
 		var err error
 		g, err = datasets.Load(*dataset)
 		if err != nil {
-			log.Fatal(err)
+			return usage("%v", err)
 		}
 	case *genSpec != "":
 		var err error
 		g, err = psgl.GenerateFromSpec(*genSpec, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return usage("%v", err)
 		}
 	default:
-		log.Fatal("one of -gen or -dataset is required")
+		return usage("one of -gen or -dataset is required")
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
 	if err := psgl.SaveEdgeList(w, g); err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Fprintf(stderr, "wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	return 0
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psgl"
+)
+
+// runCLI invokes run() in-process and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"no source", nil, "one of -gen or -dataset is required"},
+		{"both sources", []string{"-gen", "er:50:100", "-dataset", "wikitalk"}, "either -gen or -dataset, not both"},
+		{"unknown generator", []string{"-gen", "smallworld:100:4"}, "bad generator spec"},
+		{"malformed spec", []string{"-gen", "er:50"}, "bad generator spec"},
+		{"negative size", []string{"-gen", "er:-50:100"}, "sizes must be positive"},
+		{"zero size", []string{"-gen", "chunglu:0:100:1.8"}, "sizes must be positive"},
+		{"negative edges", []string{"-gen", "ba:100:-2"}, "sizes must be positive"},
+		{"negative gamma", []string{"-gen", "chunglu:100:400:-1.8"}, "gamma must be positive"},
+		{"oversized rmat", []string{"-gen", "rmat:40:1000"}, "rmat scale must be <= 30"},
+		{"unknown dataset", []string{"-dataset", "nosuch"}, "nosuch"},
+		{"trailing args", []string{"-gen", "er:50:100", "extra"}, "unexpected arguments"},
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("args %v: stderr %q, want it to contain %q", tc.args, stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-gen", "er:100:300", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	g, err := psgl.LoadEdgeList(strings.NewReader(stdout))
+	if err != nil {
+		t.Fatalf("output is not a loadable edge list: %v", err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("generated %d vertices, want 100", g.NumVertices())
+	}
+	if !strings.Contains(stderr, "wrote 100 vertices") {
+		t.Fatalf("summary missing from stderr: %q", stderr)
+	}
+}
+
+func TestGenerateToFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt")
+	for _, out := range []string{a, b} {
+		if code, _, stderr := runCLI(t, "-gen", "chunglu:200:800:1.8", "-seed", "3", "-o", out); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("same spec and seed produced different edge lists")
+	}
+	if len(da) == 0 {
+		t.Fatal("empty output file")
+	}
+}

@@ -49,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		graphPath   = fs.String("graph", "", "edge-list file to load (SNAP/KONECT format)")
 		genSpec     = fs.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
-		patternName = fs.String("pattern", "pg1", "pattern: pg1..pg5, triangle, square, diamond, house, cycleN, cliqueN, pathN, starN")
+		patternName = fs.String("pattern", "pg1", `pattern DSL: pg1..pg5, triangle, square, diamond, house, "cycle(4)", "clique(4)", "path(3)", "star(5)", or "edges(0-1,1-2,2-0)"`)
 		workers     = fs.Int("workers", 8, "BSP worker count (>= 1)")
 		strategy    = fs.String("strategy", "wa", "distribution strategy: random, roulette, wa")
 		alpha       = fs.Float64("alpha", 0.5, "workload-aware penalty exponent (0,1]")
@@ -127,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usage("%v", err)
 	}
-	p, err := psgl.PatternByName(*patternName)
+	p, err := psgl.ParsePattern(*patternName)
 	if err != nil {
 		return usage("%v", err)
 	}

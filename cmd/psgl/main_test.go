@@ -66,6 +66,23 @@ func TestRunCountsTriangles(t *testing.T) {
 	}
 }
 
+func TestPatternDSLOnCommandLine(t *testing.T) {
+	// The -pattern flag accepts the full DSL; spellings of the triangle must
+	// agree with each other (each run is oracle-verified).
+	var counts []string
+	for _, spec := range []string{"pg1", "cycle(3)", "edges(0-1,1-2,2-0)"} {
+		code, stdout, stderr := runCLI(t,
+			"-gen", "er:200:800", "-pattern", spec, "-workers", "2", "-verify")
+		if code != 0 {
+			t.Fatalf("pattern %q: exit %d, stderr:\n%s", spec, code, stderr)
+		}
+		counts = append(counts, strings.TrimSpace(stdout))
+	}
+	if counts[0] != counts[1] || counts[0] != counts[2] {
+		t.Fatalf("DSL spellings disagree: %v", counts)
+	}
+}
+
 func TestRunWritesTraceAndReport(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
 	code, _, stderr := runCLI(t,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -61,7 +62,7 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 			}
 		}
 		p = stripped
-	} else {
+	} else if !opts.PlannedPattern {
 		p = p.BreakAutomorphisms()
 	}
 
@@ -90,10 +91,20 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 		if oom := e.oomErr.Load(); oom != nil {
 			return e.buildResult(runStats, wall), ErrOutOfMemory
 		}
+		if e.stopped.Load() {
+			// The MaxResults early stop aborts the BSP run on purpose; the
+			// truncated enumeration is a success.
+			return e.buildResult(runStats, wall), nil
+		}
 		return nil, err
 	}
 	return e.buildResult(runStats, wall), nil
 }
+
+// errEarlyStop is the sentinel the engine aborts with once MaxResults
+// instances have been found; RunContext converts it back into a successful,
+// truncated result.
+var errEarlyStop = errors.New("psgl: result limit reached")
 
 // engine implements bsp.Program[gpsi] (and bsp.Snapshotter, so its
 // accumulators ride barrier snapshots and stay exactly-once under recovery).
@@ -134,6 +145,10 @@ type engine struct {
 
 	generated atomic.Int64
 	oomErr    atomic.Pointer[error]
+	// results counts emitted instances when MaxResults > 0; stopped latches
+	// once the cap is hit so every worker short-circuits its remaining work.
+	results atomic.Int64
+	stopped atomic.Bool
 
 	mu        sync.Mutex
 	instances [][]graph.VertexID
@@ -259,7 +274,7 @@ func (e *engine) Process(ctx *bsp.Context[gpsi], env bsp.Envelope[gpsi]) {
 }
 
 func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
-	if e.oomErr.Load() != nil {
+	if e.oomErr.Load() != nil || e.stopped.Load() {
 		return
 	}
 	ctx.AddCounter("processed", 1)
@@ -455,6 +470,13 @@ func (e *engine) finalize(ctx *bsp.Context[gpsi], m *gpsi) {
 			e.mu.Lock()
 			e.instances = append(e.instances, append([]graph.VertexID(nil), m.Map[:m.N]...))
 			e.mu.Unlock()
+		}
+		if e.opts.MaxResults > 0 && e.results.Add(1) >= e.opts.MaxResults {
+			// The cap-hitting instance was already delivered above; stop the
+			// run at the next message boundary.
+			if e.stopped.CompareAndSwap(false, true) {
+				ctx.Abort(errEarlyStop)
+			}
 		}
 		return
 	}
@@ -661,6 +683,7 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 	return &Result{
 		Count:     st.Results,
 		Instances: e.instances,
+		Truncated: e.stopped.Load(),
 		Stats:     st,
 	}
 }

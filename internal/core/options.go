@@ -95,6 +95,20 @@ type Options struct {
 	// DisableAutomorphismBreaking skips symmetry breaking (ablation only:
 	// every instance is then found |Aut| times).
 	DisableAutomorphismBreaking bool
+	// PlannedPattern declares that the pattern already carries its
+	// symmetry-breaking partial order (i.e. it came from BreakAutomorphisms,
+	// possibly via a plan cache): the engine uses it as-is instead of
+	// recomputing the orders per run. Pair it with InitialVertex from the
+	// same plan to skip per-run initial-vertex selection entirely — the
+	// serving layer's plan-reuse path. Ignored when
+	// DisableAutomorphismBreaking is set.
+	PlannedPattern bool
+	// MaxResults stops the run early once this many instances have been
+	// found (0 = unlimited). The stop is cooperative: workers finish their
+	// current message, so slightly more than MaxResults instances may be
+	// counted before the run winds down. An early-stopped run returns
+	// success with Result.Truncated set — the streaming `limit` fast path.
+	MaxResults int64
 	// LocalExpansion enables the non-level-synchronous mode Section 4.2
 	// permits ("PSgL may not guarantee that each Gpsi is expanded in the
 	// same pace"): a new Gpsi whose chosen expansion vertex is owned by the
@@ -220,10 +234,16 @@ type Stats struct {
 
 // Result is the outcome of a run.
 type Result struct {
-	// Count is the number of subgraph instances found.
+	// Count is the number of subgraph instances found. When Truncated is
+	// set, Count reflects the instances found before the early stop took
+	// effect (at least MaxResults; possibly a few more, see
+	// Options.MaxResults).
 	Count int64
 	// Instances holds the mappings (pattern vertex -> data vertex) when
 	// Options.Collect is set.
 	Instances [][]graph.VertexID
+	// Truncated reports that the run stopped early because
+	// Options.MaxResults was reached; the enumeration is incomplete.
+	Truncated bool
 	Stats     Stats
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"psgl/internal/gen"
+	"psgl/internal/pattern"
+	"psgl/internal/stats"
+)
+
+// TestPlannedPatternMatchesUnplanned: running with a pre-broken pattern and
+// pre-selected initial vertex (the plan-cache path) must be bit-identical to
+// the per-run planning path for every strategy.
+func TestPlannedPatternMatchesUnplanned(t *testing.T) {
+	g := gen.ChungLu(2000, 8000, 1.8, 7)
+	dist := stats.FromHistogram(g.DegreeHistogram())
+	for _, p := range []*pattern.Pattern{pattern.PG1(), pattern.PG3()} {
+		broken := p.BreakAutomorphisms()
+		initial := SelectInitialVertex(broken, dist)
+		for _, s := range []Strategy{StrategyWorkloadAware, StrategyRandom, StrategyRoulette} {
+			opts := NewOptions()
+			opts.Strategy = s
+			opts.Seed = 42
+			want, err := Run(g, p, opts)
+			if err != nil {
+				t.Fatalf("%s/%s unplanned: %v", p.Name(), s, err)
+			}
+			planned := opts
+			planned.PlannedPattern = true
+			planned.InitialVertex = initial
+			got, err := Run(g, broken, planned)
+			if err != nil {
+				t.Fatalf("%s/%s planned: %v", p.Name(), s, err)
+			}
+			if got.Count != want.Count {
+				t.Fatalf("%s/%s: planned count %d != unplanned %d", p.Name(), s, got.Count, want.Count)
+			}
+			if got.Stats.GpsiGenerated != want.Stats.GpsiGenerated {
+				t.Fatalf("%s/%s: planned generated %d != unplanned %d",
+					p.Name(), s, got.Stats.GpsiGenerated, want.Stats.GpsiGenerated)
+			}
+		}
+	}
+}
+
+// TestMaxResultsEarlyTermination: a capped run stops early, reports success
+// with Truncated set, and still delivers at least the cap.
+func TestMaxResultsEarlyTermination(t *testing.T) {
+	g := gen.ChungLu(2000, 8000, 1.8, 7)
+	opts := NewOptions()
+	opts.Seed = 3
+	full, err := Run(g, pattern.PG1(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count < 50 {
+		t.Fatalf("test graph too sparse: only %d triangles", full.Count)
+	}
+
+	var streamed atomic.Int64
+	capped := opts
+	capped.MaxResults = 5
+	capped.OnInstance = func([]int32) { streamed.Add(1) }
+	res, err := Run(g, pattern.PG1(), capped)
+	if err != nil {
+		t.Fatalf("capped run failed: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("capped run not marked Truncated")
+	}
+	if res.Count < 5 {
+		t.Fatalf("capped run found %d < 5 instances", res.Count)
+	}
+	if res.Count >= full.Count {
+		t.Fatalf("capped run did not stop early: %d of %d instances", res.Count, full.Count)
+	}
+	if streamed.Load() != res.Count {
+		t.Fatalf("OnInstance saw %d instances, Count says %d", streamed.Load(), res.Count)
+	}
+}
+
+// TestMaxResultsAboveTotal: a cap the run never reaches changes nothing.
+func TestMaxResultsAboveTotal(t *testing.T) {
+	g := gen.ChungLu(500, 2000, 1.8, 7)
+	opts := NewOptions()
+	want, err := Run(g, pattern.PG1(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := opts
+	capped.MaxResults = want.Count + 1
+	res, err := Run(g, pattern.PG1(), capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("unreached cap marked the run Truncated")
+	}
+	if res.Count != want.Count {
+		t.Fatalf("count %d != uncapped %d", res.Count, want.Count)
+	}
+}

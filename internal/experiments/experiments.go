@@ -520,6 +520,7 @@ func ByName(name string) (func() string, error) {
 		"fig8":      Figure8,
 		"makespan":  Makespan,
 		"hotpath":   Hotpath,
+		"serve":     Serve,
 		"all":       All,
 	}
 	fn, ok := m[name]

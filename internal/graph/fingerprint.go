@@ -1,0 +1,31 @@
+package graph
+
+// Fingerprint returns a stable 64-bit digest of the graph's structure:
+// FNV-1a over the CSR offsets and adjacency arrays. Because Build sorts and
+// deduplicates adjacency lists, any construction order of the same edge set
+// produces the same CSR and therefore the same fingerprint. The resident
+// query service keys its plan cache on (fingerprint, canonical pattern) and
+// reports the fingerprint in /stats so clients can detect which graph a
+// server is holding.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(len(g.offsets) - 1))
+	for _, o := range g.offsets {
+		mix(uint64(o))
+	}
+	for _, v := range g.adj {
+		mix(uint64(uint32(v)))
+	}
+	return h
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "testing"
+
+func TestFingerprintStable(t *testing.T) {
+	g1 := FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g2 := FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identical graphs have different fingerprints")
+	}
+}
+
+func TestFingerprintBuildOrderIndependent(t *testing.T) {
+	// Reversed insertion order, duplicate edges, and swapped endpoints all
+	// collapse to the same CSR, so the fingerprint must match.
+	g1 := FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g2 := FromEdges(4, [][2]VertexID{{0, 3}, {3, 2}, {2, 1}, {1, 0}, {1, 0}})
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("same edge set built differently changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	cases := map[string]*Graph{
+		"edge added":      FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}),
+		"edge removed":    FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}}),
+		"edge moved":      FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 1}}),
+		"vertex appended": FromEdges(5, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+	}
+	for name, g := range cases {
+		if g.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+}
+
+func TestFingerprintEmptyAndIsolated(t *testing.T) {
+	// Isolated vertices carry no adjacency but do change the offsets array.
+	if FromEdges(3, nil).Fingerprint() == FromEdges(4, nil).Fingerprint() {
+		t.Fatal("vertex count not reflected in fingerprint")
+	}
+}

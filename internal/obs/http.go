@@ -37,18 +37,31 @@ func PublishExpvar(name string, o *Observer) {
 // /debug/pprof/*, and the Observer's JSON snapshot at /debug/obs. A private
 // mux keeps the profiling endpoints off http.DefaultServeMux.
 func Handler(o *Observer) *http.ServeMux {
+	return HandlerProvider(func() *Observer { return o })
+}
+
+// HandlerProvider is Handler with a late-bound Observer: each /debug/obs
+// request snapshots whatever Observer get returns at that moment. Long-lived
+// processes that observe many short runs — the query service creates one
+// Observer per query — point get at the most recent one so a single debug
+// mux follows them all. get returning nil yields an empty snapshot.
+func HandlerProvider(get func() *Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		o := get()
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(o.Snapshot())
+		type tagged struct {
+			Tag string `json:"tag,omitempty"`
+			Snapshot
+		}
+		enc.Encode(tagged{Tag: o.Tag(), Snapshot: o.Snapshot()})
 	})
 	return mux
 }

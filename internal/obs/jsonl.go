@@ -19,6 +19,7 @@ type jsonEvent struct {
 	Bytes    int64   `json:"bytes,omitempty"`
 	Attempt  int     `json:"attempt,omitempty"`
 	Err      string  `json:"err,omitempty"`
+	Tag      string  `json:"tag,omitempty"`
 }
 
 // JSONL is a sink writing one JSON object per line to an io.Writer — the
@@ -48,6 +49,7 @@ func (j *JSONL) Emit(ev Event) {
 		Bytes:    ev.Bytes,
 		Attempt:  ev.Attempt,
 		Err:      ev.Err,
+		Tag:      ev.Tag,
 	}
 	j.mu.Lock()
 	if err := j.enc.Encode(rec); err != nil && j.err == nil {
@@ -84,6 +86,7 @@ func DecodeJSONL(r io.Reader) ([]Event, error) {
 			Bytes:    rec.Bytes,
 			Attempt:  rec.Attempt,
 			Err:      rec.Err,
+			Tag:      rec.Tag,
 		})
 	}
 	return out, nil

@@ -122,6 +122,10 @@ type Event struct {
 	Attempt int
 	// Err carries the error text for failure events.
 	Err string
+	// Tag identifies the run this event belongs to when many observers share
+	// one sink — the query service stamps per-query trace IDs here. Empty
+	// for untagged (single-run) observers.
+	Tag string
 }
 
 // Sink receives trace events. Emit is called from the BSP run loop (one
@@ -207,6 +211,9 @@ type Observer struct {
 	sink  Sink
 	start time.Time
 	seq   atomic.Uint64
+	// tag is stamped into every emitted event (SetTag; set before the run
+	// starts, read by the emit path).
+	tag string
 
 	// Physical transport counters (monotonic; replays included).
 	wireFramesSent atomic.Int64
@@ -250,10 +257,30 @@ func New(sink Sink) *Observer {
 	return &Observer{sink: sink, start: time.Now()}
 }
 
+// SetTag sets the run identifier stamped into every event this Observer
+// emits — e.g. a per-query trace ID when a server funnels many short runs
+// into one shared sink. Call it before the observed run starts; it is not
+// synchronized against in-flight emits.
+func (o *Observer) SetTag(tag string) {
+	if o == nil {
+		return
+	}
+	o.tag = tag
+}
+
+// Tag returns the identifier set by SetTag.
+func (o *Observer) Tag() string {
+	if o == nil {
+		return ""
+	}
+	return o.tag
+}
+
 // emit stamps and forwards one event.
 func (o *Observer) emit(ev Event) {
 	ev.Seq = o.seq.Add(1)
 	ev.Elapsed = time.Since(o.start)
+	ev.Tag = o.tag
 	o.sink.Emit(ev)
 }
 

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTagStampedAndRoundTripsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewJSONL(&buf))
+	o.SetTag("q17")
+	if o.Tag() != "q17" {
+		t.Fatalf("Tag() = %q, want q17", o.Tag())
+	}
+	o.RunStarted(2, 0)
+	o.RunEnded(1, 0, nil, nil, nil, nil)
+	events, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Tag != "q17" {
+			t.Fatalf("event %v tag %q, want q17", ev.Type, ev.Tag)
+		}
+	}
+}
+
+func TestUntaggedEventsOmitTag(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewJSONL(&buf))
+	o.RunStarted(1, 0)
+	if bytes.Contains(buf.Bytes(), []byte(`"tag"`)) {
+		t.Fatalf("untagged event serialized a tag field: %s", buf.String())
+	}
+}
+
+func TestNilObserverTagSafe(t *testing.T) {
+	var o *Observer
+	o.SetTag("x") // must not panic
+	if o.Tag() != "" {
+		t.Fatal("nil observer has a tag")
+	}
+}

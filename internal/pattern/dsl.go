@@ -1,0 +1,231 @@
+package pattern
+
+// The pattern DSL of the resident query service: a compact text form for
+// pattern graphs that clients send over HTTP and CLIs accept on the command
+// line, plus a spelling-independent canonical key that the server's plan
+// cache uses so `cycle(4)`, `square`, and `edges(0-1,1-2,2-3,3-0)` all share
+// one cached plan.
+//
+// Grammar (case-insensitive, whitespace ignored):
+//
+//	pattern  := name | generator | explicit
+//	name     := "pg1".."pg5" | "triangle" | "square" | "diamond" | "house"
+//	generator:= ("cycle"|"clique"|"path"|"star") "(" int ")"
+//	explicit := "edges" "(" edge ("," edge)* ")"
+//	edge     := int "-" int
+//
+// Explicit patterns number vertices 0..n-1 with n inferred as the largest
+// endpoint plus one. All patterns must be connected, simple (no self-loops),
+// and small enough for the engine: at most MaxVertices vertices (the fixed
+// [16]int32 Gpsi map) and MaxEdges edges (the 32-bit pending-edge mask).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+const (
+	// MaxVertices is the largest pattern the engine's fixed-size Gpsi value
+	// supports (core.maxPatternVertices); the DSL rejects anything bigger at
+	// parse time instead of at run time.
+	MaxVertices = 16
+	// MaxEdges is the engine's pattern-edge cap (the Pending bitmask width).
+	MaxEdges = 32
+	// maxAutomorphismGuard bounds the automorphism groups the planner will
+	// enumerate. Highly symmetric explicit patterns (e.g. complete bipartite
+	// graphs near the vertex cap) have factorially large groups; a resident
+	// server must reject them at parse time rather than hang in
+	// BreakAutomorphisms on an attacker-supplied pattern.
+	maxAutomorphismGuard = 100_000
+)
+
+// Parse parses the pattern DSL. Accepted spellings: the catalog names
+// (pg1..pg5, triangle, square, diamond, house, and legacy cycleN/cliqueN/
+// pathN/starN), the parameterized generators cycle(k), clique(k), path(k),
+// star(k), and explicit edge lists edges(0-1,1-2,2-0). The returned pattern
+// carries no symmetry-breaking order; callers plan it with
+// BreakAutomorphisms (List/Count do so automatically).
+func Parse(s string) (*Pattern, error) {
+	src := strings.ToLower(strings.Join(strings.Fields(s), ""))
+	if src == "" {
+		return nil, fmt.Errorf("pattern: empty pattern expression")
+	}
+	open := strings.IndexByte(src, '(')
+	if open < 0 {
+		return ByName(src)
+	}
+	if !strings.HasSuffix(src, ")") {
+		return nil, fmt.Errorf("pattern: %q: missing closing parenthesis", s)
+	}
+	head, body := src[:open], src[open+1:len(src)-1]
+	switch head {
+	case "cycle", "clique", "path", "star":
+		k, err := strconv.Atoi(body)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: %q: %s wants one integer argument", s, head)
+		}
+		return makeGenerator(head, k)
+	case "edges":
+		return parseEdges(s, body)
+	}
+	return nil, fmt.Errorf("pattern: %q: unknown form %q (want cycle(k), clique(k), path(k), star(k), edges(a-b,...), or a catalog name)", s, head)
+}
+
+// makeGenerator builds a parameterized family member with the engine's size
+// caps enforced before the (potentially factorial) symmetry analysis runs.
+func makeGenerator(fam string, k int) (*Pattern, error) {
+	switch fam {
+	case "cycle":
+		if k < 3 || k > MaxVertices {
+			return nil, fmt.Errorf("pattern: cycle(%d) out of supported range [3,%d]", k, MaxVertices)
+		}
+		return Cycle(k), nil
+	case "clique":
+		// clique(9) already has 36 > MaxEdges edges; the edge cap is the
+		// binding constraint for cliques.
+		if k < 2 || k*(k-1)/2 > MaxEdges {
+			return nil, fmt.Errorf("pattern: clique(%d) out of supported range [2,8] (%d edges exceed the engine's %d-edge cap)", k, k*(k-1)/2, MaxEdges)
+		}
+		return Clique(k), nil
+	case "path":
+		if k < 2 || k > MaxVertices {
+			return nil, fmt.Errorf("pattern: path(%d) out of supported range [2,%d]", k, MaxVertices)
+		}
+		return Path(k), nil
+	case "star":
+		// star(k) has k! leaf automorphisms; 8 leaves (40320) is the largest
+		// group the planner enumerates in negligible time.
+		if k < 1 || k > 8 {
+			return nil, fmt.Errorf("pattern: star(%d) out of supported range [1,8]", k)
+		}
+		return Star(k), nil
+	}
+	return nil, fmt.Errorf("pattern: unknown generator %q", fam)
+}
+
+func parseEdges(src, body string) (*Pattern, error) {
+	if body == "" {
+		return nil, fmt.Errorf("pattern: %q: edges() needs at least one edge", src)
+	}
+	var edges [][2]int
+	n := 0
+	for _, tok := range strings.Split(body, ",") {
+		a, b, ok := strings.Cut(tok, "-")
+		if !ok {
+			return nil, fmt.Errorf("pattern: %q: bad edge %q (want A-B)", src, tok)
+		}
+		u, err1 := strconv.Atoi(a)
+		v, err2 := strconv.Atoi(b)
+		if err1 != nil || err2 != nil || u < 0 || v < 0 {
+			return nil, fmt.Errorf("pattern: %q: bad edge %q (want nonnegative integers A-B)", src, tok)
+		}
+		if u >= MaxVertices || v >= MaxVertices {
+			return nil, fmt.Errorf("pattern: %q: vertex %d exceeds the engine's %d-vertex cap", src, max(u, v), MaxVertices)
+		}
+		edges = append(edges, [2]int{u, v})
+		if u >= n {
+			n = u + 1
+		}
+		if v >= n {
+			n = v + 1
+		}
+	}
+	if len(edges) > MaxEdges {
+		return nil, fmt.Errorf("pattern: %q: %d edges exceed the engine's %d-edge cap", src, len(edges), MaxEdges)
+	}
+	p, err := New(fmt.Sprintf("edges%d", n), n, edges)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.AutomorphismsBounded(maxAutomorphismGuard); !ok {
+		return nil, fmt.Errorf("pattern: %q: more than %d automorphisms; too symmetric to plan", src, maxAutomorphismGuard)
+	}
+	return p, nil
+}
+
+// DSL renders p in the explicit-edges form Parse accepts, e.g.
+// "edges(0-1,0-2,1-2)" — a lossless round trip of the pattern's structure
+// (the symmetry-breaking order is derived state and is not serialized).
+func (p *Pattern) DSL() string {
+	var sb strings.Builder
+	sb.WriteString("edges(")
+	for i, e := range p.Edges() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e[0], e[1])
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CanonicalKey returns a cache key that identifies the pattern's structure
+// independent of its spelling. For patterns of up to 8 vertices the key is a
+// canonical form computed over all vertex permutations, so any two isomorphic
+// patterns — cycle(4), square, a re-numbered edges(...) — share one key.
+// Larger patterns fall back to their normalized edge list (spelling-dependent
+// numbering, but still stable across equal spellings). Labeled patterns
+// append their label vector so label variants never collide.
+func (p *Pattern) CanonicalKey() string {
+	var key string
+	if p.n <= 8 {
+		key = fmt.Sprintf("c%d:%07x", p.n, p.canonicalBits())
+	} else {
+		key = "raw" + p.DSL()
+	}
+	if p.labels != nil {
+		var sb strings.Builder
+		sb.WriteString(key)
+		sb.WriteString(";labels=")
+		for i, l := range p.labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", l)
+		}
+		return sb.String()
+	}
+	return key
+}
+
+// canonicalBits computes the minimum upper-triangle adjacency encoding of p
+// over every vertex permutation — the classic (exponential, but tiny-n)
+// canonical form. For n <= 8 this is at most 8! = 40320 permutations of a
+// 28-bit code.
+func (p *Pattern) canonicalBits() uint64 {
+	n := p.n
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := ^uint64(0)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			var bits uint64
+			k := 0
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if p.mat[perm[i]*n+perm[j]] {
+						bits |= 1 << uint(k)
+					}
+					k++
+				}
+			}
+			if bits < best {
+				best = bits
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[depth] = v
+			rec(depth + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,199 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCatalogAndGenerators(t *testing.T) {
+	cases := []struct {
+		in         string
+		n, edges   int
+		equivalent string // spelling that must share the canonical key
+	}{
+		{"pg1", 3, 3, "triangle"},
+		{"triangle", 3, 3, "clique(3)"},
+		{"cycle(3)", 3, 3, "clique(3)"},
+		{"pg2", 4, 4, "cycle(4)"},
+		{"square", 4, 4, "edges(0-1,1-2,2-3,3-0)"},
+		{"cycle(4)", 4, 4, "edges(0-2,2-1,1-3,3-0)"}, // renumbered C4
+		{"pg3", 4, 5, "diamond"},
+		{"pg4", 4, 6, "clique(4)"},
+		{"pg5", 5, 6, "house"},
+		{"path(4)", 4, 3, "edges(2-0,0-1,1-3)"},
+		{"star(3)", 4, 3, "edges(3-0,3-1,3-2)"},
+		{"path(3)", 3, 2, "star(2)"}, // isomorphic: the 3-vertex path is the 2-leaf star
+		{"Cycle( 5 )", 5, 5, "cycle(5)"},
+		{"edges(0-1,1-2,2-0)", 3, 3, "pg1"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if p.N() != tc.n || p.NumEdges() != tc.edges {
+			t.Fatalf("Parse(%q) = %d vertices %d edges, want %d/%d", tc.in, p.N(), p.NumEdges(), tc.n, tc.edges)
+		}
+		q, err := Parse(tc.equivalent)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.equivalent, err)
+		}
+		if p.CanonicalKey() != q.CanonicalKey() {
+			t.Fatalf("CanonicalKey(%q) = %q != CanonicalKey(%q) = %q",
+				tc.in, p.CanonicalKey(), tc.equivalent, q.CanonicalKey())
+		}
+	}
+}
+
+func TestCanonicalKeySeparatesNonIsomorphic(t *testing.T) {
+	specs := []string{"pg1", "pg2", "pg3", "pg4", "pg5", "path(4)", "star(3)", "cycle(5)", "clique(5)"}
+	seen := map[string]string{}
+	for _, s := range specs {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := p.CanonicalKey()
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("patterns %q and %q collide on canonical key %q", prev, s, key)
+		}
+		seen[key] = s
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	tooMany := make([]string, 0, MaxEdges+1)
+	for i := 0; i <= MaxEdges; i++ {
+		// A multigraph spelling: 33 edge tokens on a path (duplicates count
+		// against the parse-time cap before dedup).
+		tooMany = append(tooMany, fmt.Sprintf("%d-%d", i%15, i%15+1))
+	}
+	cases := []struct {
+		name, in, wantMsg string
+	}{
+		{"empty", "", "empty"},
+		{"self loop", "edges(0-1,1-1)", "self loop"},
+		{"disconnected", "edges(0-1,2-3)", "not connected"},
+		{"vertex 16 exceeds cap", "edges(0-1,1-16)", "16-vertex cap"},
+		{"huge vertex id", "edges(0-1000)", "16-vertex cap"},
+		{"negative vertex", "edges(0-1,1--2)", "bad edge"},
+		{"bad edge token", "edges(0:1)", "bad edge"},
+		{"no edges", "edges()", "at least one edge"},
+		{"too many edges", "edges(" + strings.Join(tooMany, ",") + ")", "edge cap"},
+		{"cycle too small", "cycle(2)", "out of supported range"},
+		{"cycle too big", "cycle(17)", "out of supported range"},
+		{"clique over edge cap", "clique(9)", "out of supported range"},
+		{"star too symmetric", "star(9)", "out of supported range"},
+		{"non-integer arg", "cycle(x)", "one integer argument"},
+		{"unknown form", "wheel(5)", "unknown form"},
+		{"unknown name", "pg99", "unknown pattern"},
+		{"missing paren", "cycle(4", "closing parenthesis"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if p, err := Parse(tc.in); err == nil {
+				t.Fatalf("Parse(%q) = %v, want error", tc.in, p)
+			} else if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("Parse(%q) error %q, want it to contain %q", tc.in, err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestParseRejectsTooSymmetric(t *testing.T) {
+	// K(2,12): 14 vertices, 24 edges — within the size caps, but its
+	// automorphism group has 2*12! elements; the parser must refuse rather
+	// than let BreakAutomorphisms enumerate it.
+	var edges []string
+	for leaf := 2; leaf < 14; leaf++ {
+		edges = append(edges, fmt.Sprintf("0-%d,1-%d", leaf, leaf))
+	}
+	in := "edges(" + strings.Join(edges, ",") + ")"
+	_, err := Parse(in)
+	if err == nil || !strings.Contains(err.Error(), "too symmetric") {
+		t.Fatalf("Parse(K(2,12)) err = %v, want 'too symmetric'", err)
+	}
+}
+
+// TestQuickDSLRoundTrip: for random connected patterns, rendering to the DSL
+// and parsing back preserves the structure exactly (and therefore the
+// canonical key).
+func TestQuickDSLRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		p := randomConnected(seed)
+		q, err := Parse(p.DSL())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if q.N() != p.N() || q.NumEdges() != p.NumEdges() {
+			return false
+		}
+		for a := 0; a < p.N(); a++ {
+			for b := 0; b < p.N(); b++ {
+				if p.HasEdge(a, b) != q.HasEdge(a, b) {
+					return false
+				}
+			}
+		}
+		return q.CanonicalKey() == p.CanonicalKey()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCanonicalKeyRelabelInvariant: the canonical key is invariant under
+// random vertex relabelings — the property the plan cache relies on.
+func TestQuickCanonicalKeyRelabelInvariant(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		p := randomConnected(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		relab := rng.Perm(p.N())
+		var edges [][2]int
+		for _, e := range p.Edges() {
+			edges = append(edges, [2]int{relab[e[0]], relab[e[1]]})
+		}
+		q := MustNew("relab", p.N(), edges)
+		return q.CanonicalKey() == p.CanonicalKey()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripCatalog(t *testing.T) {
+	pats := []*Pattern{PG1(), PG2(), PG3(), PG4(), PG5()}
+	for k := 3; k <= 8; k++ {
+		pats = append(pats, Cycle(k))
+	}
+	for k := 2; k <= 8; k++ {
+		pats = append(pats, Clique(k))
+	}
+	for _, p := range pats {
+		q, err := Parse(p.DSL())
+		if err != nil {
+			t.Fatalf("%s: Parse(%q): %v", p.Name(), p.DSL(), err)
+		}
+		if q.DSL() != p.DSL() {
+			t.Fatalf("%s: round trip %q -> %q", p.Name(), p.DSL(), q.DSL())
+		}
+		if q.CanonicalKey() != p.CanonicalKey() {
+			t.Fatalf("%s: canonical key changed across round trip", p.Name())
+		}
+	}
+}
+
+func TestAutomorphismsBounded(t *testing.T) {
+	p := Star(5) // 5! = 120 automorphisms
+	if auts, ok := p.AutomorphismsBounded(0); !ok || len(auts) != 120 {
+		t.Fatalf("unbounded: %d automorphisms ok=%v, want 120/true", len(auts), ok)
+	}
+	if auts, ok := p.AutomorphismsBounded(200); !ok || len(auts) != 120 {
+		t.Fatalf("loose bound: %d automorphisms ok=%v, want 120/true", len(auts), ok)
+	}
+	if _, ok := p.AutomorphismsBounded(100); ok {
+		t.Fatal("bound 100 not reported as exceeded for 120 automorphisms")
+	}
+}

@@ -178,15 +178,33 @@ func (p *Pattern) String() string {
 // (u,v) ∈ Ep ⇔ (σ(u),σ(v)) ∈ Ep, by backtracking with degree pruning.
 // The identity is always included. Intended for small patterns (n ≤ ~10).
 func (p *Pattern) Automorphisms() [][]int {
+	out, _ := p.AutomorphismsBounded(0)
+	return out
+}
+
+// AutomorphismsBounded is Automorphisms with an enumeration cap: once more
+// than max automorphisms are found the search stops and ok is false (max <= 0
+// means unbounded). The DSL parser uses it to reject attacker-supplied
+// patterns whose factorially large symmetry groups would otherwise hang the
+// planner.
+func (p *Pattern) AutomorphismsBounded(max int) (auts [][]int, ok bool) {
 	perm := make([]int, p.n)
 	used := make([]bool, p.n)
 	for i := range perm {
 		perm[i] = -1
 	}
 	var out [][]int
+	overflow := false
 	var rec func(v int)
 	rec = func(v int) {
+		if overflow {
+			return
+		}
 		if v == p.n {
+			if max > 0 && len(out) == max {
+				overflow = true
+				return
+			}
 			cp := make([]int, p.n)
 			copy(cp, perm)
 			out = append(out, cp)
@@ -217,7 +235,7 @@ func (p *Pattern) Automorphisms() [][]int {
 		}
 	}
 	rec(0)
-	return out
+	return out, !overflow
 }
 
 // NumAutomorphisms returns |Aut(Gp)|; without symmetry breaking every

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// errQueueFull reports that both the execution slots and the wait queue are
+// occupied; the HTTP layer maps it to 429 Too Many Requests.
+var errQueueFull = errors.New("serve: all execution slots busy and the wait queue is full")
+
+// admission bounds concurrent query execution: at most maxInFlight queries
+// run at once, at most maxQueue more wait in FIFO order (Go parks blocked
+// channel senders in arrival order), and anything beyond that is rejected
+// immediately with errQueueFull so overload surfaces as fast 429s instead of
+// unbounded latency.
+type admission struct {
+	sem chan struct{} // buffered to maxInFlight; holding a token = executing
+
+	mu          sync.Mutex
+	waiting     int
+	maxQueue    int
+	maxInFlight int
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		sem:         make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns errQueueFull when the queue is at capacity, or
+// done's value when the caller gives up (deadline, client disconnect, drain)
+// before a slot frees up.
+func (a *admission) acquire(done <-chan struct{}) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.waiting >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	a.waiting++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-done:
+		return errors.New("serve: gave up waiting for an execution slot")
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.sem }
+
+// load reports the current in-flight and queued query counts.
+func (a *admission) load() (inFlight, waiting int) {
+	a.mu.Lock()
+	waiting = a.waiting
+	a.mu.Unlock()
+	return len(a.sem), waiting
+}

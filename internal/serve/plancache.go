@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"psgl/internal/core"
+	"psgl/internal/pattern"
+	"psgl/internal/stats"
+)
+
+// Plan is everything the engine needs per pattern that is independent of the
+// query: the symmetry-broken pattern (automorphism breaking is the expensive
+// part of preprocessing), the Algorithm 4 / Theorem 5 initial-pattern-vertex
+// selection against this server's data graph, and the cached pattern edge
+// list. A Plan is immutable after construction and shared by every query
+// that resolves to the same canonical pattern.
+type Plan struct {
+	// Key is the canonical pattern key (pattern.CanonicalKey) the plan is
+	// cached under; spelling variants of one structure share it.
+	Key string
+	// Pattern carries the symmetry-breaking partial order.
+	Pattern *pattern.Pattern
+	// InitialVertex is the selected initial pattern vertex.
+	InitialVertex int
+	// Edges is the pattern's cached edge list (a < b, lexicographic).
+	Edges [][2]int
+
+	built sync.Once
+	// ready flips once the build completed; snapshot readers that did not go
+	// through built.Do use it to skip entries still being built.
+	ready atomic.Bool
+	// Hits counts queries served from this entry after it was built.
+	Hits atomic.Int64
+}
+
+// planCache computes each canonical pattern's plan exactly once and reuses
+// it across queries. Concurrent queries for the same new pattern share one
+// build: the map entry is created under the mutex, the expensive work runs
+// under the entry's sync.Once, so the cache never holds two entries — or
+// runs two builds — for one canonical pattern.
+type planCache struct {
+	dist *stats.Distribution // data-graph degree distribution, computed once
+
+	mu     sync.Mutex
+	plans  map[string]*Plan
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache(dist *stats.Distribution) *planCache {
+	return &planCache{dist: dist, plans: map[string]*Plan{}}
+}
+
+// get returns the plan for p, building it on first use. p is the parsed,
+// unplanned pattern; its canonical key decides cache identity.
+func (c *planCache) get(p *pattern.Pattern) *Plan {
+	key := p.CanonicalKey()
+	c.mu.Lock()
+	pl, ok := c.plans[key]
+	if !ok {
+		pl = &Plan{Key: key}
+		c.plans[key] = pl
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+		pl.Hits.Add(1)
+	}
+	c.mu.Unlock()
+	pl.built.Do(func() {
+		broken := p.BreakAutomorphisms()
+		pl.Pattern = broken
+		pl.InitialVertex = core.SelectInitialVertex(broken, c.dist)
+		pl.Edges = broken.Edges()
+		pl.ready.Store(true)
+	})
+	return pl
+}
+
+// snapshot returns the cache counters and per-entry summaries for /stats.
+// Entries whose first build is still in flight are counted but summarized
+// as pending.
+func (c *planCache) snapshot() (entries []PlanStats, hits, misses int64) {
+	c.mu.Lock()
+	for _, pl := range c.plans {
+		ps := PlanStats{Key: pl.Key, Pattern: "(building)", Hits: pl.Hits.Load()}
+		if pl.ready.Load() {
+			ps.Pattern = pl.Pattern.String()
+			ps.InitialVertex = pl.InitialVertex
+			ps.Edges = len(pl.Edges)
+			ps.Orders = len(pl.Pattern.Orders())
+		}
+		entries = append(entries, ps)
+	}
+	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, c.hits.Load(), c.misses.Load()
+}
+
+// PlanStats is one plan-cache entry as reported by /stats.
+type PlanStats struct {
+	Key           string `json:"key"`
+	Pattern       string `json:"pattern"`
+	InitialVertex int    `json:"initial_vertex"`
+	Edges         int    `json:"edges"`
+	Orders        int    `json:"orders"`
+	Hits          int64  `json:"hits"`
+}

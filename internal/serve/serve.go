@@ -1,0 +1,513 @@
+// Package serve is the resident query service of the PSgL stack: a
+// long-lived server that loads the data graph once and answers concurrent
+// subgraph-listing queries over HTTP/JSON, amortizing graph residency and
+// per-pattern planning (automorphism breaking, initial-vertex selection)
+// across queries the way serving-oriented successors of the paper (DDSL,
+// Ren et al.) do.
+//
+// The pieces:
+//
+//   - Pattern DSL (internal/pattern): queries name patterns as `cycle(4)`,
+//     `clique(4)`, `edges(0-1,1-2,2-0)`, or catalog names; the canonical
+//     form keys the plan cache so spelling variants share one plan.
+//   - Plan cache (plancache.go): symmetry breaking, initial-pattern-vertex
+//     selection, and the pattern edge list are computed exactly once per
+//     canonical pattern and reused by every later query.
+//   - Admission control (admission.go): a configurable number of in-flight
+//     queries, a bounded FIFO wait queue, 429 on overflow, per-query
+//     deadlines threaded into the engine's RunContext, and graceful drain.
+//   - Result streaming: embeddings stream as NDJSON with a `limit` that
+//     terminates the enumeration early (Options.MaxResults), plus a
+//     count-only fast path.
+//
+// Endpoints: POST/GET /query, /healthz, /stats, and the observability debug
+// mux (/debug/obs, /debug/pprof/*, /debug/vars) following the most recent
+// query's tagged Observer.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/core"
+	"psgl/internal/graph"
+	"psgl/internal/obs"
+	"psgl/internal/pattern"
+	"psgl/internal/stats"
+)
+
+// Config tunes a Server. The zero value is valid; see the field defaults.
+type Config struct {
+	// Workers is the engine worker count per query. 0 means 4.
+	Workers int
+	// Strategy is the Gpsi distribution strategy for every query unless the
+	// query overrides it with ?strategy=.
+	Strategy core.Strategy
+	// Alpha is the workload-aware penalty exponent. 0 means 0.5.
+	Alpha float64
+	// Seed drives partitioning and randomized strategies. Fixed per server
+	// so repeated queries are reproducible.
+	Seed int64
+	// DisableEdgeIndex turns off the bloom edge index for all queries.
+	DisableEdgeIndex bool
+	// MaxInFlight is the number of queries executing concurrently. 0 means 2.
+	MaxInFlight int
+	// MaxQueue is the bounded FIFO wait queue behind the execution slots;
+	// a query arriving with the queue full is rejected with 429. 0 means 8.
+	// Negative means no queue (reject as soon as all slots are busy).
+	MaxQueue int
+	// DefaultDeadline bounds queries that do not pass deadline_ms. 0 means
+	// 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-supplied deadlines. 0 means 5m.
+	MaxDeadline time.Duration
+	// TraceSink, when non-nil, receives every query's trace events; each
+	// query runs under its own Observer tagged with the query's trace ID
+	// (q1, q2, ...). Nil disables tracing.
+	TraceSink obs.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is a resident subgraph-listing query service over one data graph.
+// Create one with New, mount Handler on an http.Server, and Drain on
+// shutdown.
+type Server struct {
+	g     *graph.Graph
+	cfg   Config
+	fp    uint64
+	plans *planCache
+	adm   *admission
+	start time.Time
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	qid     atomic.Int64
+	lastObs atomic.Pointer[obs.Observer]
+
+	// Query outcome counters for /stats.
+	completed        atomic.Int64
+	rejected         atomic.Int64
+	deadlineExceeded atomic.Int64
+	failed           atomic.Int64
+	embeddingsSent   atomic.Int64
+
+	// hookQueryAdmitted, when non-nil, runs while the query holds an
+	// execution slot, before the engine starts — a test seam for pinning
+	// queries in flight deterministically.
+	hookQueryAdmitted func()
+}
+
+// New builds a Server over g. The graph's degree distribution (for
+// initial-vertex selection) and fingerprint are computed once, here.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	if g == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		g:     g,
+		cfg:   cfg,
+		fp:    g.Fingerprint(),
+		plans: newPlanCache(stats.FromHistogram(g.DegreeHistogram())),
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		start: time.Now(),
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/debug/", obs.HandlerProvider(func() *obs.Observer { return s.lastObs.Load() }))
+	return mux
+}
+
+// Drain stops admitting queries (healthz turns 503, /query answers 503) and
+// waits for in-flight queries to finish or ctx to expire — the SIGTERM path.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// beginQuery registers an in-flight query unless the server is draining.
+func (s *Server) beginQuery() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endQuery() { s.inflight.Done() }
+
+// queryParams is one parsed /query request.
+type queryParams struct {
+	patternSrc string
+	limit      int64
+	deadline   time.Duration
+	countOnly  bool
+	strategy   core.Strategy
+	workers    int
+}
+
+func (s *Server) parseQuery(r *http.Request) (queryParams, error) {
+	q := queryParams{strategy: s.cfg.Strategy, workers: s.cfg.Workers, deadline: s.cfg.DefaultDeadline}
+	q.patternSrc = r.FormValue("pattern")
+	if q.patternSrc == "" {
+		return q, fmt.Errorf("missing required parameter 'pattern'")
+	}
+	if v := r.FormValue("limit"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q (want a nonnegative integer)", v)
+		}
+		q.limit = n
+	}
+	if v := r.FormValue("deadline_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return q, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
+		}
+		q.deadline = time.Duration(ms) * time.Millisecond
+		if q.deadline > s.cfg.MaxDeadline {
+			q.deadline = s.cfg.MaxDeadline
+		}
+	}
+	if v := r.FormValue("count_only"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return q, fmt.Errorf("bad count_only %q (want a boolean)", v)
+		}
+		q.countOnly = b
+	}
+	switch v := r.FormValue("strategy"); v {
+	case "", "wa":
+		// keep default (or the server's configured strategy for "")
+		if v == "wa" {
+			q.strategy = core.StrategyWorkloadAware
+		}
+	case "random":
+		q.strategy = core.StrategyRandom
+	case "roulette":
+		q.strategy = core.StrategyRoulette
+	default:
+		return q, fmt.Errorf("bad strategy %q (want random, roulette, or wa)", v)
+	}
+	if v := r.FormValue("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 256 {
+			return q, fmt.Errorf("bad workers %q (want 1..256)", v)
+		}
+		q.workers = n
+	}
+	return q, nil
+}
+
+// jsonError writes a one-object JSON error response.
+func jsonError(w http.ResponseWriter, status int, format string, a ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, a...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if !s.beginQuery() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.endQuery()
+
+	params, err := s.parseQuery(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := pattern.Parse(params.patternSrc)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan := s.plans.get(p)
+
+	ctx, cancel := context.WithTimeout(r.Context(), params.deadline)
+	defer cancel()
+
+	// Admission: an execution slot now, a bounded FIFO wait, or a fast 429.
+	if err := s.adm.acquire(ctx.Done()); err != nil {
+		s.rejected.Add(1)
+		if errors.Is(err, errQueueFull) {
+			jsonError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		if ctx.Err() != nil && r.Context().Err() == nil {
+			s.deadlineExceeded.Add(1)
+			jsonError(w, http.StatusGatewayTimeout, "deadline expired while queued")
+			return
+		}
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.adm.release()
+	if s.hookQueryAdmitted != nil {
+		s.hookQueryAdmitted()
+	}
+
+	traceID := fmt.Sprintf("q%d", s.qid.Add(1))
+	observer := obs.New(s.cfg.TraceSink)
+	observer.SetTag(traceID)
+	s.lastObs.Store(observer)
+
+	opts := core.NewOptions()
+	opts.Workers = params.workers
+	opts.Strategy = params.strategy
+	opts.Alpha = s.cfg.Alpha
+	opts.Seed = s.cfg.Seed
+	opts.DisableEdgeIndex = s.cfg.DisableEdgeIndex
+	opts.Observer = observer
+	// The plan-reuse path: the cached pattern already carries its
+	// symmetry-breaking orders, and the initial vertex was selected once
+	// against this graph.
+	opts.PlannedPattern = true
+	opts.InitialVertex = plan.InitialVertex
+
+	start := time.Now()
+	if params.countOnly {
+		s.serveCount(ctx, w, plan, opts, traceID, start)
+		return
+	}
+	s.serveStream(ctx, w, plan, opts, params.limit, traceID, start)
+}
+
+// countResponse is the count-only fast path's response body.
+type countResponse struct {
+	TraceID   string  `json:"trace_id"`
+	Canonical string  `json:"canonical"`
+	Pattern   string  `json:"pattern"`
+	Count     int64   `json:"count"`
+	Truncated bool    `json:"truncated,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, plan *Plan, opts core.Options, traceID string, start time.Time) {
+	res, err := core.RunContext(ctx, s.g, plan.Pattern, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.deadlineExceeded.Add(1)
+			jsonError(w, http.StatusGatewayTimeout, "query canceled: %v", ctx.Err())
+			return
+		}
+		s.failed.Add(1)
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.completed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(countResponse{
+		TraceID:   traceID,
+		Canonical: plan.Key,
+		Pattern:   plan.Pattern.Name(),
+		Count:     res.Count,
+		Truncated: res.Truncated,
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// streamTrailer closes an NDJSON stream: the final line after the embedding
+// lines.
+type streamTrailer struct {
+	Done      bool    `json:"done"`
+	TraceID   string  `json:"trace_id"`
+	Canonical string  `json:"canonical"`
+	Count     int64   `json:"count"`
+	Truncated bool    `json:"truncated,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func (s *Server) serveStream(ctx context.Context, w http.ResponseWriter, plan *Plan, opts core.Options, limit int64, traceID string, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex // serializes writes from concurrent worker callbacks
+	var emitted atomic.Int64
+	type line struct {
+		Embedding []graph.VertexID `json:"embedding"`
+	}
+	enc := json.NewEncoder(w)
+	opts.MaxResults = limit
+	opts.OnInstance = func(mapping []graph.VertexID) {
+		if limit > 0 && emitted.Add(1) > limit {
+			// Workers race past the cap before the engine's early stop
+			// propagates; surplus instances are dropped here so the stream
+			// honors the limit exactly.
+			return
+		} else if limit == 0 {
+			emitted.Add(1)
+		}
+		mu.Lock()
+		enc.Encode(line{Embedding: mapping})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		mu.Unlock()
+	}
+
+	res, err := core.RunContext(ctx, s.g, plan.Pattern, opts)
+	trailer := streamTrailer{
+		Done:      true,
+		TraceID:   traceID,
+		Canonical: plan.Key,
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	n := emitted.Load()
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	trailer.Count = n
+	switch {
+	case err != nil && ctx.Err() != nil:
+		s.deadlineExceeded.Add(1)
+		trailer.Truncated = true
+		trailer.Error = fmt.Sprintf("query canceled: %v", ctx.Err())
+	case err != nil:
+		s.failed.Add(1)
+		trailer.Error = err.Error()
+	default:
+		s.completed.Add(1)
+		trailer.Truncated = res.Truncated
+	}
+	s.embeddingsSent.Add(n)
+	mu.Lock()
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	mu.Unlock()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the /stats document.
+type StatsResponse struct {
+	Graph struct {
+		Vertices    int    `json:"vertices"`
+		Edges       int64  `json:"edges"`
+		Fingerprint string `json:"fingerprint"`
+	} `json:"graph"`
+	UptimeS float64 `json:"uptime_s"`
+	Plans   struct {
+		Entries []PlanStats `json:"entries"`
+		Hits    int64       `json:"hits"`
+		Misses  int64       `json:"misses"`
+	} `json:"plan_cache"`
+	Admission struct {
+		MaxInFlight int `json:"max_inflight"`
+		MaxQueue    int `json:"max_queue"`
+		InFlight    int `json:"inflight"`
+		Waiting     int `json:"waiting"`
+	} `json:"admission"`
+	Queries struct {
+		Completed        int64 `json:"completed"`
+		Rejected         int64 `json:"rejected"`
+		DeadlineExceeded int64 `json:"deadline_exceeded"`
+		Failed           int64 `json:"failed"`
+		EmbeddingsSent   int64 `json:"embeddings_sent"`
+	} `json:"queries"`
+	Draining bool `json:"draining"`
+}
+
+// Stats assembles the /stats document (also used by tests directly).
+func (s *Server) Stats() StatsResponse {
+	var sr StatsResponse
+	sr.Graph.Vertices = s.g.NumVertices()
+	sr.Graph.Edges = s.g.NumEdges()
+	sr.Graph.Fingerprint = fmt.Sprintf("%016x", s.fp)
+	sr.UptimeS = time.Since(s.start).Seconds()
+	sr.Plans.Entries, sr.Plans.Hits, sr.Plans.Misses = s.plans.snapshot()
+	sr.Admission.MaxInFlight = s.cfg.MaxInFlight
+	sr.Admission.MaxQueue = s.cfg.MaxQueue
+	sr.Admission.InFlight, sr.Admission.Waiting = s.adm.load()
+	sr.Queries.Completed = s.completed.Load()
+	sr.Queries.Rejected = s.rejected.Load()
+	sr.Queries.DeadlineExceeded = s.deadlineExceeded.Load()
+	sr.Queries.Failed = s.failed.Load()
+	sr.Queries.EmbeddingsSent = s.embeddingsSent.Load()
+	sr.Draining = s.Draining()
+	return sr
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

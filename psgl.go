@@ -39,6 +39,7 @@ import (
 	"psgl/internal/obs"
 	"psgl/internal/onehop"
 	"psgl/internal/pattern"
+	"psgl/internal/serve"
 	"psgl/internal/sgia"
 	"psgl/internal/stream"
 	"strconv"
@@ -253,6 +254,11 @@ func GenerateFromSpec(spec string, seed int64) (*Graph, error) {
 		}
 		nums = append(nums, v)
 	}
+	for _, v := range nums {
+		if v <= 0 {
+			return nil, fmt.Errorf("psgl: bad generator spec %q: sizes must be positive", spec)
+		}
+	}
 	switch parts[0] {
 	case "er":
 		if len(parts) != 3 || len(nums) != 2 {
@@ -267,6 +273,9 @@ func GenerateFromSpec(spec string, seed int64) (*Graph, error) {
 		if err != nil {
 			return bad()
 		}
+		if gamma <= 0 {
+			return nil, fmt.Errorf("psgl: bad generator spec %q: gamma must be positive", spec)
+		}
 		return GenerateChungLu(int(nums[0]), nums[1], gamma, seed), nil
 	case "ba":
 		if len(parts) != 3 || len(nums) != 2 {
@@ -276,6 +285,9 @@ func GenerateFromSpec(spec string, seed int64) (*Graph, error) {
 	case "rmat":
 		if len(parts) != 3 || len(nums) != 2 {
 			return bad()
+		}
+		if nums[0] > 30 {
+			return nil, fmt.Errorf("psgl: bad generator spec %q: rmat scale must be <= 30", spec)
 		}
 		return GenerateRMAT(int(nums[0]), nums[1], seed), nil
 	}
@@ -323,6 +335,30 @@ func Star(k int) *Pattern { return pattern.Star(k) }
 // PatternByName resolves "pg1".."pg5", "triangle", "square", "diamond",
 // "house", and parameterized "cycleN"/"cliqueN"/"pathN"/"starN".
 func PatternByName(name string) (*Pattern, error) { return pattern.ByName(name) }
+
+// ParsePattern parses the pattern DSL the query service and CLIs accept:
+// every PatternByName spelling plus "cycle(4)", "clique(4)", "path(3)",
+// "star(5)", and explicit edge lists like "edges(0-1,1-2,2-0)". Whitespace
+// and case are ignored. Patterns that are rejected by the engine (self
+// loops, disconnected, too many vertices) or too symmetric to plan fail here
+// with a descriptive error.
+func ParsePattern(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// Resident query service (cmd/psgl-server): the data graph is loaded once
+// and queries in the pattern DSL are answered over HTTP with per-pattern
+// plan caching, admission control, deadlines, and NDJSON result streaming.
+type (
+	// Server is the resident subgraph-listing query service.
+	Server = serve.Server
+	// ServerConfig tunes a Server (concurrency, queueing, deadlines, tracing).
+	ServerConfig = serve.Config
+	// ServerStats is the /stats document.
+	ServerStats = serve.StatsResponse
+)
+
+// NewServer builds a resident query service over g. Mount Handler on an
+// http.Server and call Drain on shutdown.
+func NewServer(g *Graph, cfg ServerConfig) (*Server, error) { return serve.New(g, cfg) }
 
 // Labeled subgraph matching (the generalization the paper's related-work
 // section describes: listing is matching with uniform labels). Attach labels

@@ -6,12 +6,17 @@
 //	psgl-bench [flags] <experiment>
 //
 // where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
-// table2, fig7, table3, table4, fig8, makespan, hotpath, or all.
+// table2, fig7, table3, table4, fig8, makespan, hotpath, serve, chaos, or
+// all.
 //
 // `psgl-bench hotpath` additionally writes the machine-readable baseline to
 // BENCH_hotpath.json in the current directory; `psgl-bench serve` does the
 // same for the resident query service (qps and latency percentiles at
-// increasing client concurrency) into BENCH_serve.json.
+// increasing client concurrency) into BENCH_serve.json. `psgl-bench chaos`
+// runs the deterministic fault harness — seeded kill/drop/delay/partition
+// and checkpoint-corruption schedules over both exchanges — verifies every
+// chaos count bit-identical against a clean run, and writes
+// BENCH_chaos.json (recoveries, retries, restarts per schedule).
 //
 // Observability: `psgl-bench -trace out.jsonl <experiment>` attaches an
 // observer to every PSgL run the experiment performs, writes the JSONL event
@@ -46,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|all>")
+		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|chaos|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +118,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "baseline written to BENCH_serve.json")
+	}
+	if name == "chaos" {
+		data, err := experiments.ChaosJSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile("BENCH_chaos.json", data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "baseline written to BENCH_chaos.json")
 	}
 	fmt.Fprintf(stdout, "(experiment %s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
 	return 0

@@ -71,6 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxDeadline  = fs.Duration("max-deadline", 5*time.Minute, "cap on client-supplied deadlines")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight queries on shutdown")
 		tracePath    = fs.String("trace", "", "write a JSONL trace of every query's events to this file")
+		workerPlane  = fs.Bool("worker-plane", false, "coordinate remote psgl-worker processes instead of executing queries in-process")
+		quorum       = fs.Int("quorum", 1, "minimum alive workers to serve queries; below it /query answers 503 with Retry-After (worker-plane mode)")
+		heartbeat    = fs.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval (worker-plane mode)")
+		missLimit    = fs.Int("miss-limit", 3, "consecutive missed heartbeats before a worker is evicted (worker-plane mode)")
+		hedge        = fs.Duration("hedge", 2*time.Second, "delay before hedging a count query to a second worker; negative disables (worker-plane mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,6 +94,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *alpha <= 0 || *alpha > 1 {
 		return usage("-alpha must be in (0, 1], have %g", *alpha)
+	}
+	if !*workerPlane && (*quorum != 1 || *heartbeat != 500*time.Millisecond || *missLimit != 3 || *hedge != 2*time.Second) {
+		return usage("-quorum, -heartbeat, -miss-limit, and -hedge require -worker-plane")
+	}
+	if *workerPlane && *quorum < 1 {
+		return usage("-quorum must be >= 1, have %d", *quorum)
 	}
 
 	cfg := psgl.ServerConfig{
@@ -114,6 +125,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// -max-queue 0 must mean "no queue", which the config spells as -1.
 	if *maxQueue == 0 {
 		cfg.MaxQueue = -1
+	}
+	if *workerPlane {
+		cfg.Plane = &psgl.PlaneConfig{
+			Quorum:            *quorum,
+			HeartbeatInterval: *heartbeat,
+			MissLimit:         *missLimit,
+			HedgeDelay:        *hedge,
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -156,8 +175,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("%v", err)
 	}
-	fmt.Fprintf(stderr, "psgl-server: %d vertices, %d edges resident; serving on http://%s (/query, /healthz, /stats, /debug/)\n",
-		g.NumVertices(), g.NumEdges(), ln.Addr())
+	mode := "/query, /healthz, /stats, /debug/"
+	if *workerPlane {
+		mode += ", /workers; coordinating remote workers (quorum " + fmt.Sprint(*quorum) + ")"
+	}
+	fmt.Fprintf(stderr, "psgl-server: %d vertices, %d edges resident; serving on http://%s (%s)\n",
+		g.NumVertices(), g.NumEdges(), ln.Addr(), mode)
 	if testListenerReady != nil {
 		testListenerReady(ln.Addr().String())
 	}

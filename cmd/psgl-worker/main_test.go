@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"psgl"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestWorkerFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"no graph source", []string{"-coordinator", "http://x", "-id", "w"}, "one of -graph or -gen is required"},
+		{"no coordinator", []string{"-gen", "er:50:100", "-id", "w"}, "-coordinator is required"},
+		{"no id", []string{"-gen", "er:50:100", "-coordinator", "http://x"}, "-id is required"},
+		{"zero workers", []string{"-gen", "er:50:100", "-coordinator", "http://x", "-id", "w", "-workers", "0"}, "-workers must be >= 1"},
+		{"trailing args", []string{"-gen", "er:50:100", "-coordinator", "http://x", "-id", "w", "extra"}, "unexpected arguments"},
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v: exit 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("args %v: stderr %q, want it to contain %q", tc.args, stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestWorkerJoinServeSigtermLeave is the worker binary's end-to-end test: an
+// in-process coordinator with a worker plane, the worker booted through
+// run(), a query answered through the coordinator by this worker, then
+// SIGTERM — the worker must leave the registry gracefully and exit 0.
+func TestWorkerJoinServeSigtermLeave(t *testing.T) {
+	const spec = "chunglu:400:1600:1.8"
+	g, err := psgl.GenerateFromSpec(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := psgl.NewServer(g, psgl.ServerConfig{Plane: &psgl.PlaneConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	readyCh := make(chan string, 1)
+	testWorkerReady = func(addr string) { readyCh <- addr }
+	defer func() { testWorkerReady = nil }()
+
+	var wg sync.WaitGroup
+	var code int
+	var stderr bytes.Buffer
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var stdout bytes.Buffer
+		code = run([]string{
+			"-gen", spec, "-seed", "1",
+			"-coordinator", ts.URL,
+			"-id", "w1", "-workers", "2",
+		}, &stdout, &stderr)
+	}()
+	select {
+	case <-readyCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr struct {
+		Count int64 `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query via coordinator: status %d, err %v", resp.StatusCode, err)
+	}
+	if got := resp.Header.Get("X-PSGL-Worker"); got != "w1" {
+		t.Fatalf("answered by %q, want w1", got)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not stop after SIGTERM")
+	}
+	if code != 0 {
+		t.Fatalf("exit %d after SIGTERM, want 0; stderr:\n%s", code, stderr.String())
+	}
+	st := coord.Stats()
+	if st.Plane == nil || st.Plane.Registry.Leaves != 1 {
+		t.Fatalf("worker did not leave gracefully: %+v", st.Plane)
+	}
+	if st.Plane.Alive != 0 {
+		t.Fatalf("alive = %d after leave, want 0", st.Plane.Alive)
+	}
+}
+
+// TestWorkerGraphMismatchFailsFast: a worker loaded with a different graph
+// must be rejected at join and exit non-zero with the mismatch explained.
+func TestWorkerGraphMismatchFailsFast(t *testing.T) {
+	g, err := psgl.GenerateFromSpec("er:100:400", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := psgl.NewServer(g, psgl.ServerConfig{Plane: &psgl.PlaneConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	code, _, stderr := runCLI(t,
+		"-gen", "er:100:400", "-seed", "2", // different seed => different graph
+		"-coordinator", ts.URL, "-id", "wz")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "fingerprint mismatch") {
+		t.Fatalf("stderr %q, want fingerprint mismatch", stderr)
+	}
+}

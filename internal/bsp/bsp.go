@@ -228,7 +228,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 		maxSteps = 1 << 20
 	}
 	buildExchange := func() (Exchange[M], error) {
-		return newExchangeFromFactory[M](cfg.Exchange, cfg.Workers, cfg.Observer)
+		return newExchangeFromFactory[M](ctx, cfg.Exchange, cfg.Workers, cfg.Observer)
 	}
 	exchange, err := buildExchange()
 	if err != nil {
@@ -398,7 +398,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 			cfg.Observer.RestartedFromScratch(step)
 			return 0, nil
 		case err != nil:
-			return 0, fmt.Errorf("loading checkpoint after step %d: %v (original failure: %w)", step, err, cause)
+			return 0, fmt.Errorf("loading checkpoint after step %d: %w (original failure: %w)", step, err, cause)
 		default:
 			if err := restore(snap); err != nil {
 				return 0, err

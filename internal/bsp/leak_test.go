@@ -1,0 +1,117 @@
+package bsp
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"psgl/internal/obs"
+)
+
+// waitGoroutinesBack polls until the goroutine count drops back to at most
+// base (plus slack for runtime noise), failing the test otherwise.
+func waitGoroutinesBack(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d now vs %d at baseline\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestTCPSetupCancelStopsAcceptLoopWithoutLeaks: cancelling the run context
+// mid-setup (one mesh connection black-holed, so setup can never complete)
+// must abort the Accept loop promptly — well before the setup deadline —
+// count a setup abort in obs, and leave no goroutine behind.
+func TestTCPSetupCancelStopsAcceptLoopWithoutLeaks(t *testing.T) {
+	// A decoy listener that never participates in the handshake, so the
+	// mesh stays one connection short forever.
+	decoy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer decoy.Close()
+	testDialHook = func(src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
+		if src == 0 && dst == 1 {
+			return net.DialTimeout("tcp", decoy.Addr().String(), timeout)
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	defer func() { testDialHook = nil }()
+
+	base := runtime.NumGoroutine()
+	o := obs.New(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err = newExchangeFromFactory[int](ctx,
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3, o)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled setup should error")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("test bug: context not canceled")
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("setup took %v after cancel; must tear down promptly, not wait out the 60s deadline", elapsed)
+	}
+	if got := o.Snapshot().SetupAborts; got != 1 {
+		t.Fatalf("setup_aborts = %d, want 1", got)
+	}
+	waitGoroutinesBack(t, base)
+}
+
+// TestTCPSetupPreCanceledContextFailsFast: a context already canceled before
+// setup starts must fail immediately without opening a listener.
+func TestTCPSetupPreCanceledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := newExchangeFromFactory[int](ctx, NewTCPExchangeFactory(), 4, nil)
+	if err == nil {
+		t.Fatal("pre-canceled setup should error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-canceled setup took %v", elapsed)
+	}
+	waitGoroutinesBack(t, base)
+}
+
+// TestTCPSetupCompletesThenRunLeavesNoGoroutines: the happy path — a full
+// mesh setup followed by Close must also return to the goroutine baseline
+// (the watchdog itself must not leak).
+func TestTCPSetupCompletesThenRunLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ex, err := newExchangeFromFactory[int](context.Background(), NewTCPExchangeFactory(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAll := make([][][]Envelope[int], 3)
+	for i := range outAll {
+		outAll[i] = make([][]Envelope[int], 3)
+		for j := range outAll[i] {
+			if i != j {
+				outAll[i][j] = []Envelope[int]{{Dest: 0, Msg: i*10 + j}}
+			}
+		}
+	}
+	if _, err := ex.Exchange(context.Background(), 0, outAll); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+	waitGoroutinesBack(t, base)
+}

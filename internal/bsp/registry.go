@@ -1,0 +1,385 @@
+package bsp
+
+// Worker registry: the control plane of the remote worker tier. The paper's
+// deployment substrate (Giraph on Hadoop, Section 6) assumes a master that
+// tracks worker liveness through heartbeats and treats a missed-beat worker
+// as dead; robustness-focused successors (Ren et al., "Fast and Robust
+// Distributed Subgraph Enumeration") make the same machinery the deciding
+// factor at scale. This file is that machinery, engine-agnostic: membership
+// (join/leave), liveness (heartbeats with missed-beat eviction), and
+// generation numbers so a worker that dies and rejoins cannot ack frames or
+// answer queries attributed to its previous incarnation.
+//
+// The registry is deliberately passive about time: it never starts its own
+// goroutine. Liveness advances when the owner calls Sweep — from a ticker in
+// production (internal/serve's coordinator), or explicitly with an injected
+// clock in tests, so eviction timing is deterministic under test.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"psgl/internal/obs"
+)
+
+// Registry errors, distinguishable with errors.Is so transport layers can
+// map them to protocol responses (the serving tier maps ErrStaleGeneration
+// and ErrEvicted to "rejoin", ErrUnknownWorker to "join first").
+var (
+	// ErrUnknownWorker reports an operation naming a worker that never
+	// joined (or was garbage-collected after leaving).
+	ErrUnknownWorker = errors.New("bsp: unknown worker")
+	// ErrStaleGeneration reports an operation carrying a generation number
+	// older than the worker's current incarnation — a frame, heartbeat, or
+	// response from a predecessor that died and was replaced.
+	ErrStaleGeneration = errors.New("bsp: stale worker generation")
+	// ErrEvicted reports a heartbeat from a worker the registry already
+	// evicted for missing its beat limit; the worker must rejoin (and will
+	// be issued a fresh generation).
+	ErrEvicted = errors.New("bsp: worker evicted; rejoin required")
+)
+
+// WorkerState is a registry member's liveness state.
+type WorkerState uint8
+
+const (
+	// StateAlive: joined and beating within the miss limit.
+	StateAlive WorkerState = iota + 1
+	// StateEvicted: missed MissLimit consecutive heartbeat intervals; its
+	// generation is dead and any frame or response carrying it is stale.
+	StateEvicted
+	// StateLeft: departed gracefully via Leave.
+	StateLeft
+)
+
+// String names the state for /workers listings and logs.
+func (s WorkerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateEvicted:
+		return "evicted"
+	case StateLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("WorkerState(%d)", uint8(s))
+	}
+}
+
+// WorkerInfo is a point-in-time copy of one registry member.
+type WorkerInfo struct {
+	// ID is the worker's stable name (survives restarts; the generation
+	// distinguishes incarnations).
+	ID string
+	// Addr is where the worker's execution endpoint listens.
+	Addr string
+	// Gen is the incarnation number, unique across the registry's lifetime
+	// and strictly increasing across rejoins of the same ID.
+	Gen uint64
+	// Fingerprint is the worker's resident graph fingerprint, checked at
+	// join so a worker serving a different graph can never answer queries.
+	Fingerprint uint64
+	// State is the liveness state.
+	State WorkerState
+	// LastBeat is the time of the most recent join or heartbeat.
+	LastBeat time.Time
+	// Joined is the time of this incarnation's join.
+	Joined time.Time
+	// Misses counts consecutive overdue heartbeat intervals observed by
+	// Sweep since the last beat (resets on every beat).
+	Misses int
+}
+
+// RegistryConfig tunes liveness. The zero value gets defaults.
+type RegistryConfig struct {
+	// HeartbeatInterval is how often workers are expected to beat. 0 means
+	// 500ms.
+	HeartbeatInterval time.Duration
+	// MissLimit is how many consecutive intervals a worker may miss before
+	// Sweep evicts it. 0 means 3.
+	MissLimit int
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+	// OnEvict, when non-nil, is called (outside the registry lock) for each
+	// worker Sweep evicts — the coordinator's hook for canceling in-flight
+	// dispatches to the corpse.
+	OnEvict func(WorkerInfo)
+	// Observer receives heartbeat-miss and eviction counters. Nil disables.
+	Observer *obs.Observer
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.MissLimit <= 0 {
+		c.MissLimit = 3
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Registry tracks the remote worker set. Safe for concurrent use.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	nextGen uint64
+	workers map[string]*workerEntry
+	// epoch increments on every membership change (join, leave, eviction) so
+	// pollers can cheaply detect "something changed".
+	epoch uint64
+
+	// Monotonic counters for /stats.
+	joins     int64
+	rejoins   int64
+	leaves    int64
+	evictions int64
+	staleOps  int64
+	missTotal int64
+}
+
+type workerEntry struct {
+	info WorkerInfo
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), workers: make(map[string]*workerEntry)}
+}
+
+// HeartbeatInterval reports the configured beat interval (workers learn it
+// from the join response).
+func (r *Registry) HeartbeatInterval() time.Duration { return r.cfg.HeartbeatInterval }
+
+// MissLimit reports the configured eviction threshold.
+func (r *Registry) MissLimit() int { return r.cfg.MissLimit }
+
+// Join registers a worker (or a new incarnation of one) and returns its
+// generation number. Rejoining an existing ID — alive, evicted, or left —
+// always issues a strictly larger generation, retiring the old incarnation:
+// any frame, heartbeat, or response still carrying the old generation fails
+// with ErrStaleGeneration from then on.
+func (r *Registry) Join(id, addr string, fingerprint uint64) (uint64, error) {
+	if id == "" {
+		return 0, fmt.Errorf("bsp: registry join: empty worker id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.Clock()
+	r.nextGen++
+	gen := r.nextGen
+	if _, rejoin := r.workers[id]; rejoin {
+		r.rejoins++
+	} else {
+		r.joins++
+	}
+	r.workers[id] = &workerEntry{info: WorkerInfo{
+		ID: id, Addr: addr, Gen: gen, Fingerprint: fingerprint,
+		State: StateAlive, LastBeat: now, Joined: now,
+	}}
+	r.epoch++
+	return gen, nil
+}
+
+// Heartbeat records a beat from worker id's incarnation gen. A beat from a
+// stale generation or an evicted worker is rejected — the caller must
+// rejoin.
+func (r *Registry) Heartbeat(id string, gen uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	if gen != w.info.Gen {
+		r.staleOps++
+		return fmt.Errorf("%w: %q gen %d, current %d", ErrStaleGeneration, id, gen, w.info.Gen)
+	}
+	switch w.info.State {
+	case StateEvicted:
+		return fmt.Errorf("%w: %q", ErrEvicted, id)
+	case StateLeft:
+		return fmt.Errorf("%w: %q left", ErrUnknownWorker, id)
+	}
+	w.info.LastBeat = r.cfg.Clock()
+	w.info.Misses = 0
+	return nil
+}
+
+// Leave gracefully retires worker id's incarnation gen.
+func (r *Registry) Leave(id string, gen uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	if gen != w.info.Gen {
+		r.staleOps++
+		return fmt.Errorf("%w: %q gen %d, current %d", ErrStaleGeneration, id, gen, w.info.Gen)
+	}
+	if w.info.State == StateAlive {
+		r.leaves++
+		r.epoch++
+	}
+	w.info.State = StateLeft
+	return nil
+}
+
+// ValidateGeneration checks that gen is worker id's current, live
+// incarnation — the coordinator calls this before trusting a query response,
+// so a restarted worker can never ack work dispatched to its predecessor.
+func (r *Registry) ValidateGeneration(id string, gen uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, id)
+	}
+	if gen != w.info.Gen {
+		r.staleOps++
+		return fmt.Errorf("%w: %q gen %d, current %d", ErrStaleGeneration, id, gen, w.info.Gen)
+	}
+	if w.info.State != StateAlive {
+		return fmt.Errorf("%w: %q", ErrEvicted, id)
+	}
+	return nil
+}
+
+// Sweep advances liveness: workers whose last beat is more than one interval
+// old accrue misses; a worker at or past MissLimit missed intervals is
+// evicted. Returns the workers evicted by this sweep (OnEvict also fires for
+// each, outside the lock). Call it periodically — every interval is natural.
+func (r *Registry) Sweep() []WorkerInfo {
+	r.mu.Lock()
+	now := r.cfg.Clock()
+	var evicted []WorkerInfo
+	for _, w := range r.workers {
+		if w.info.State != StateAlive {
+			continue
+		}
+		overdue := int(now.Sub(w.info.LastBeat) / r.cfg.HeartbeatInterval)
+		if overdue <= 0 {
+			continue
+		}
+		if delta := overdue - w.info.Misses; delta > 0 {
+			r.missTotal += int64(delta)
+			r.cfg.Observer.AddHeartbeatMiss(int64(delta))
+		}
+		w.info.Misses = overdue
+		if overdue >= r.cfg.MissLimit {
+			w.info.State = StateEvicted
+			r.evictions++
+			r.epoch++
+			r.cfg.Observer.AddEviction()
+			evicted = append(evicted, w.info)
+		}
+	}
+	onEvict := r.cfg.OnEvict
+	r.mu.Unlock()
+	if onEvict != nil {
+		for _, w := range evicted {
+			onEvict(w)
+		}
+	}
+	return evicted
+}
+
+// Alive returns the live worker set, ordered by ID for deterministic
+// dispatch.
+func (r *Registry) Alive() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []WorkerInfo
+	for _, w := range r.workers {
+		if w.info.State == StateAlive {
+			out = append(out, w.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumAlive reports the live worker count (the quorum input).
+func (r *Registry) NumAlive() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if w.info.State == StateAlive {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup returns a copy of worker id's current record.
+func (r *Registry) Lookup(id string) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return WorkerInfo{}, false
+	}
+	return w.info, true
+}
+
+// Members returns every registry record (all states), ordered by ID.
+func (r *Registry) Members() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, w.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Epoch returns the membership epoch: it increments on every join, leave,
+// and eviction.
+func (r *Registry) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// RegistryStats is the registry's monotonic counter snapshot for /stats.
+type RegistryStats struct {
+	Joins           int64  `json:"joins"`
+	Rejoins         int64  `json:"rejoins"`
+	Leaves          int64  `json:"leaves"`
+	Evictions       int64  `json:"evictions"`
+	StaleOps        int64  `json:"stale_generation_ops"`
+	HeartbeatMisses int64  `json:"heartbeat_misses"`
+	Alive           int    `json:"alive"`
+	Epoch           uint64 `json:"epoch"`
+}
+
+// Stats snapshots the registry's counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	alive := 0
+	for _, w := range r.workers {
+		if w.info.State == StateAlive {
+			alive++
+		}
+	}
+	return RegistryStats{
+		Joins:           r.joins,
+		Rejoins:         r.rejoins,
+		Leaves:          r.leaves,
+		Evictions:       r.evictions,
+		StaleOps:        r.staleOps,
+		HeartbeatMisses: r.missTotal,
+		Alive:           alive,
+		Epoch:           r.epoch,
+	}
+}

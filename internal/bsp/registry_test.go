@@ -1,0 +1,236 @@
+package bsp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"psgl/internal/obs"
+)
+
+// fakeClock is a manually advanced clock for deterministic liveness tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testRegistry(t *testing.T, o *obs.Observer) (*Registry, *fakeClock) {
+	t.Helper()
+	clock := newFakeClock()
+	r := NewRegistry(RegistryConfig{
+		HeartbeatInterval: 100 * time.Millisecond,
+		MissLimit:         3,
+		Clock:             clock.Now,
+		Observer:          o,
+	})
+	return r, clock
+}
+
+func TestRegistryJoinHeartbeatLeave(t *testing.T) {
+	r, clock := testRegistry(t, nil)
+	gen, err := r.Join("w1", "127.0.0.1:9001", 0xabc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen == 0 {
+		t.Fatal("generation must be nonzero")
+	}
+	if n := r.NumAlive(); n != 1 {
+		t.Fatalf("alive = %d, want 1", n)
+	}
+	clock.Advance(50 * time.Millisecond)
+	if err := r.Heartbeat("w1", gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave("w1", gen); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.NumAlive(); n != 0 {
+		t.Fatalf("alive after leave = %d, want 0", n)
+	}
+	if err := r.Heartbeat("w1", gen); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("heartbeat after leave: %v, want ErrUnknownWorker", err)
+	}
+}
+
+func TestRegistryMissedBeatsEvict(t *testing.T) {
+	o := obs.New(nil)
+	var evicted []WorkerInfo
+	clock := newFakeClock()
+	r := NewRegistry(RegistryConfig{
+		HeartbeatInterval: 100 * time.Millisecond,
+		MissLimit:         3,
+		Clock:             clock.Now,
+		Observer:          o,
+		OnEvict:           func(w WorkerInfo) { evicted = append(evicted, w) },
+	})
+	gen, _ := r.Join("w1", "a:1", 1)
+	gen2, _ := r.Join("w2", "a:2", 1)
+
+	// w2 keeps beating; w1 goes silent.
+	for i := 1; i <= 2; i++ {
+		clock.Advance(100 * time.Millisecond)
+		if err := r.Heartbeat("w2", gen2); err != nil {
+			t.Fatal(err)
+		}
+		if ev := r.Sweep(); len(ev) != 0 {
+			t.Fatalf("sweep %d evicted early: %v", i, ev)
+		}
+	}
+	w, _ := r.Lookup("w1")
+	if w.Misses != 2 {
+		t.Fatalf("w1 misses = %d, want 2", w.Misses)
+	}
+	clock.Advance(100 * time.Millisecond)
+	r.Heartbeat("w2", gen2)
+	ev := r.Sweep()
+	if len(ev) != 1 || ev[0].ID != "w1" {
+		t.Fatalf("third sweep evicted %v, want w1", ev)
+	}
+	if len(evicted) != 1 || evicted[0].ID != "w1" {
+		t.Fatalf("OnEvict saw %v, want w1", evicted)
+	}
+	if n := r.NumAlive(); n != 1 {
+		t.Fatalf("alive = %d, want 1 (w2)", n)
+	}
+	// The corpse's generation is dead: beats and response validation fail.
+	if err := r.Heartbeat("w1", gen); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("evicted heartbeat: %v, want ErrEvicted", err)
+	}
+	if err := r.ValidateGeneration("w1", gen); err == nil {
+		t.Fatal("ValidateGeneration accepted an evicted incarnation")
+	}
+
+	snap := o.Snapshot()
+	if snap.Evictions != 1 {
+		t.Fatalf("obs evictions = %d, want 1", snap.Evictions)
+	}
+	if snap.HeartbeatMisses < 3 {
+		t.Fatalf("obs heartbeat misses = %d, want >= 3", snap.HeartbeatMisses)
+	}
+	st := r.Stats()
+	if st.Evictions != 1 || st.HeartbeatMisses < 3 || st.Alive != 1 {
+		t.Fatalf("registry stats %+v", st)
+	}
+}
+
+func TestRegistryRejoinBumpsGenerationAndRetiresOld(t *testing.T) {
+	r, clock := testRegistry(t, nil)
+	gen1, _ := r.Join("w1", "a:1", 7)
+	// Worker dies silently, gets evicted.
+	clock.Advance(time.Second)
+	if ev := r.Sweep(); len(ev) != 1 {
+		t.Fatalf("evicted %v, want 1", ev)
+	}
+	// Restarted incarnation rejoins: strictly larger generation, alive again.
+	gen2, err := r.Join("w1", "a:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("rejoin generation %d not > %d", gen2, gen1)
+	}
+	if n := r.NumAlive(); n != 1 {
+		t.Fatalf("alive = %d, want 1", n)
+	}
+	// The old incarnation can't beat, leave, or validate.
+	if err := r.Heartbeat("w1", gen1); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale heartbeat: %v, want ErrStaleGeneration", err)
+	}
+	if err := r.Leave("w1", gen1); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale leave: %v, want ErrStaleGeneration", err)
+	}
+	if err := r.ValidateGeneration("w1", gen1); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale validate: %v, want ErrStaleGeneration", err)
+	}
+	// The new one works.
+	if err := r.Heartbeat("w1", gen2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateGeneration("w1", gen2); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Rejoins != 1 || st.StaleOps != 3 {
+		t.Fatalf("stats %+v, want 1 rejoin and 3 stale ops", st)
+	}
+}
+
+func TestRegistryBeatResetsMisses(t *testing.T) {
+	r, clock := testRegistry(t, nil)
+	gen, _ := r.Join("w1", "a:1", 0)
+	clock.Advance(250 * time.Millisecond) // 2 intervals overdue
+	r.Sweep()
+	w, _ := r.Lookup("w1")
+	if w.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", w.Misses)
+	}
+	if err := r.Heartbeat("w1", gen); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = r.Lookup("w1")
+	if w.Misses != 0 {
+		t.Fatalf("misses after beat = %d, want 0", w.Misses)
+	}
+	// Another 2 overdue intervals still don't evict (the limit is 3
+	// consecutive).
+	clock.Advance(250 * time.Millisecond)
+	if ev := r.Sweep(); len(ev) != 0 {
+		t.Fatalf("evicted %v after a reset", ev)
+	}
+}
+
+func TestRegistryEpochAndMembers(t *testing.T) {
+	r, clock := testRegistry(t, nil)
+	e0 := r.Epoch()
+	g1, _ := r.Join("b", "a:2", 0)
+	g2, _ := r.Join("a", "a:1", 0)
+	if r.Epoch() == e0 {
+		t.Fatal("epoch did not advance on join")
+	}
+	mem := r.Members()
+	if len(mem) != 2 || mem[0].ID != "a" || mem[1].ID != "b" {
+		t.Fatalf("members %v, want [a b] sorted", mem)
+	}
+	alive := r.Alive()
+	if len(alive) != 2 || alive[0].ID != "a" {
+		t.Fatalf("alive %v", alive)
+	}
+	e1 := r.Epoch()
+	if err := r.Leave("a", g2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() == e1 {
+		t.Fatal("epoch did not advance on leave")
+	}
+	e2 := r.Epoch()
+	clock.Advance(time.Hour)
+	r.Sweep()
+	if r.Epoch() == e2 {
+		t.Fatal("epoch did not advance on eviction")
+	}
+	_ = g1
+	if err := r.Heartbeat("zzz", 1); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("unknown heartbeat: %v", err)
+	}
+	if _, err := r.Join("", "x", 0); err == nil {
+		t.Fatal("empty id join accepted")
+	}
+}

@@ -3,6 +3,7 @@ package bsp
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,15 +11,31 @@ import (
 // calls. Exchanges are barrier-atomic (deliver everything or error having
 // delivered nothing observable), so a failed call is safe to re-issue with
 // the same outgoing buffers.
+//
+// Backoff sleeps use full jitter by default: each sleep is drawn uniformly
+// from [0, cap] where cap doubles per attempt from BaseBackoff up to
+// MaxBackoff. Without jitter, N workers that lost the same peer retry in
+// lockstep and thundering-herd the survivor at exactly the same instants;
+// the uniform draw decorrelates them (the AWS "full jitter" scheme). Set
+// JitterSeed for a deterministic draw sequence (fault-injection tests), or
+// NoJitter to recover the pre-jitter deterministic schedule.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts, first try included.
 	// 0 and 1 both mean a single attempt (no retry).
 	MaxAttempts int
-	// BaseBackoff is the sleep before the first retry, doubled after each
-	// failure. 0 means 1ms.
+	// BaseBackoff is the backoff cap before the first retry, doubled after
+	// each failure. 0 means 1ms.
 	BaseBackoff time.Duration
-	// MaxBackoff caps the per-retry sleep. 0 means 100ms.
+	// MaxBackoff caps the per-retry backoff cap. 0 means 100ms.
 	MaxBackoff time.Duration
+	// JitterSeed seeds the full-jitter draws so a fault schedule replays
+	// bit-identically. 0 draws a fresh seed per withRetry call, so
+	// concurrent retry loops across workers decorrelate.
+	JitterSeed int64
+	// NoJitter disables jitter entirely: every retry sleeps the full
+	// deterministic cap (the pre-jitter behavior; tests asserting exact
+	// backoff schedules use this).
+	NoJitter bool
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -34,11 +51,44 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// withRetry runs op up to p.MaxAttempts times with exponential backoff,
-// stopping early when ctx is done.
+// retrySeedCounter decorrelates unseeded retry loops: each withRetry call
+// mixes a fresh counter value with the wall clock, so two workers starting
+// their retry loops in the same nanosecond still draw different jitter.
+var retrySeedCounter atomic.Int64
+
+// backoffFor returns the sleep before the retry following `attempt` (1-based
+// failed attempts so far): the deterministic cap under NoJitter, otherwise a
+// uniform draw in [0, cap].
+func backoffFor(p RetryPolicy, rng *faultRand, attempt int) time.Duration {
+	cap := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		cap *= 2
+		if cap >= p.MaxBackoff {
+			cap = p.MaxBackoff
+			break
+		}
+	}
+	if cap > p.MaxBackoff {
+		cap = p.MaxBackoff
+	}
+	if p.NoJitter {
+		return cap
+	}
+	return time.Duration(rng.float64v() * float64(cap))
+}
+
+// withRetry runs op up to p.MaxAttempts times with full-jitter exponential
+// backoff, stopping early when ctx is done.
 func withRetry(ctx context.Context, p RetryPolicy, op func() error) error {
 	p = p.withDefaults()
-	backoff := p.BaseBackoff
+	var rng *faultRand
+	if !p.NoJitter {
+		seed := p.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano() ^ (retrySeedCounter.Add(1) << 20)
+		}
+		rng = newFaultRand(seed)
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = op()
@@ -51,16 +101,12 @@ func withRetry(ctx context.Context, p RetryPolicy, op func() error) error {
 			}
 			return err
 		}
-		timer := time.NewTimer(backoff)
+		timer := time.NewTimer(backoffFor(p, rng, attempt))
 		select {
 		case <-ctx.Done():
 			timer.Stop()
 			return fmt.Errorf("canceled while backing off after attempt %d: %w", attempt, err)
 		case <-timer.C:
-		}
-		backoff *= 2
-		if backoff > p.MaxBackoff {
-			backoff = p.MaxBackoff
 		}
 	}
 }

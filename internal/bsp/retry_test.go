@@ -1,0 +1,100 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffForDeterministicWithoutJitter: NoJitter reproduces the original
+// doubling schedule, capped at MaxBackoff.
+func TestBackoffForDeterministicWithoutJitter(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond, NoJitter: true}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := backoffFor(p, nil, i+1); got != w {
+			t.Fatalf("attempt %d: backoff %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffFullJitterBounds: every jittered draw stays within [0, cap]
+// where cap follows the doubling schedule.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+	rng := newFaultRand(42)
+	caps := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	sawNonzero := false
+	for round := 0; round < 200; round++ {
+		for i, cap := range caps {
+			d := backoffFor(p, rng, i+1)
+			if d < 0 || d > cap {
+				t.Fatalf("attempt %d: jittered backoff %v outside [0, %v]", i+1, d, cap)
+			}
+			if d > 0 {
+				sawNonzero = true
+			}
+		}
+	}
+	if !sawNonzero {
+		t.Fatal("1000 jittered draws were all zero")
+	}
+}
+
+// TestBackoffSeededJitterIsDeterministic: the same JitterSeed yields the same
+// draw sequence — the mode fault-injection tests rely on.
+func TestBackoffSeededJitterIsDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+	a, b := newFaultRand(7), newFaultRand(7)
+	for i := 1; i <= 32; i++ {
+		da, db := backoffFor(p, a, i), backoffFor(p, b, i)
+		if da != db {
+			t.Fatalf("attempt %d: seeded draws diverged (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+// TestBackoffUnseededDrawsDecorrelate: two independently seeded streams must
+// not produce identical jitter schedules (the thundering-herd fix).
+func TestBackoffUnseededDrawsDecorrelate(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	a, b := newFaultRand(1), newFaultRand(2)
+	same := 0
+	const draws = 64
+	for i := 1; i <= draws; i++ {
+		if backoffFor(p, a, i) == backoffFor(p, b, i) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("two differently seeded jitter streams produced identical schedules")
+	}
+}
+
+// TestWithRetryJitteredStillRetriesAndSucceeds: the jittered path preserves
+// the retry contract end to end.
+func TestWithRetryJitteredStillRetriesAndSucceeds(t *testing.T) {
+	calls := 0
+	err := withRetry(context.Background(),
+		RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Microsecond, MaxBackoff: 100 * time.Microsecond, JitterSeed: 3},
+		func() error {
+			calls++
+			if calls < 4 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("withRetry: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("op called %d times, want 4", calls)
+	}
+}

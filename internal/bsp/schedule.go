@@ -1,0 +1,153 @@
+package bsp
+
+// Step-targeted fault schedules. The probabilistic injector (faults.go)
+// answers "does recovery work under random failure rates"; the chaos harness
+// (internal/chaos) needs the sharper question "does recovery work when
+// worker W dies exactly at superstep S" — deterministic, named events at
+// named barriers. A scheduled fault fires exactly once: the schedule state
+// lives in the factory, so an exchange rebuilt during checkpoint recovery
+// sees the remaining schedule instead of deterministically replaying the
+// same fault forever.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StepFaultKind enumerates what a scheduled fault does to its barrier.
+type StepFaultKind uint8
+
+const (
+	// StepFaultKill simulates worker death mid-superstep: the barrier's
+	// exchange fails with nothing delivered (Giraph detects worker failure
+	// exactly this way — at the barrier).
+	StepFaultKill StepFaultKind = iota + 1
+	// StepFaultDrop drops the whole barrier batch; the loss surfaces as an
+	// error at the barrier with nothing delivered.
+	StepFaultDrop
+	// StepFaultDelay delays the barrier's frames by Delay, then delivers.
+	StepFaultDelay
+	// StepFaultPartition simulates a mesh partition: frames between the two
+	// halves are undeliverable, failing the barrier with nothing delivered.
+	StepFaultPartition
+)
+
+// String names the kind for error text and chaos reports.
+func (k StepFaultKind) String() string {
+	switch k {
+	case StepFaultKill:
+		return "kill"
+	case StepFaultDrop:
+		return "drop"
+	case StepFaultDelay:
+		return "delay"
+	case StepFaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("StepFaultKind(%d)", uint8(k))
+	}
+}
+
+// StepFault is one scheduled event: at superstep Step, do Kind. Worker names
+// the victim (kill) or the partition boundary (workers < Worker on one side)
+// — it shapes the error text so logs and tests can tell schedules apart.
+type StepFault struct {
+	Step   int
+	Kind   StepFaultKind
+	Worker int
+	// Delay is the injected latency for StepFaultDelay.
+	Delay time.Duration
+}
+
+// NewScheduledFaultExchangeFactory wraps inner (nil = the in-process
+// exchange) so each scheduled fault fires exactly once when its superstep's
+// Exchange runs. Faults sharing a step fire on successive Exchange calls for
+// that step (first call fires the first unfired one, and so on), so a
+// schedule can e.g. kill the same barrier twice to exhaust a retry budget.
+func NewScheduledFaultExchangeFactory(inner ExchangeFactory, faults []StepFault) *ScheduledFaultFactory {
+	return &ScheduledFaultFactory{inner: inner, state: &scheduleState{
+		faults: append([]StepFault(nil), faults...),
+		fired:  make([]bool, len(faults)),
+	}}
+}
+
+// ScheduledFaultFactory is an ExchangeFactory injecting a deterministic fault
+// schedule; Fired reports harness progress.
+type ScheduledFaultFactory struct {
+	inner ExchangeFactory
+	state *scheduleState
+}
+
+func (*ScheduledFaultFactory) kind() string { return "scheduled" }
+
+// Fired reports how many scheduled faults have fired so far.
+func (f *ScheduledFaultFactory) Fired() int { return f.state.Fired() }
+
+// scheduleState is shared by every exchange built from one factory, so the
+// fire-once bookkeeping survives exchange rebuilds during recovery.
+type scheduleState struct {
+	mu     sync.Mutex
+	faults []StepFault
+	fired  []bool
+}
+
+// next claims the first unfired fault for step, or ok=false.
+func (s *scheduleState) next(step int) (StepFault, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.faults {
+		if !s.fired[i] && f.Step == step {
+			s.fired[i] = true
+			return f, true
+		}
+	}
+	return StepFault{}, false
+}
+
+// Fired reports how many scheduled faults have fired so far.
+func (s *scheduleState) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+func newScheduledExchange[M any](inner Exchange[M], state *scheduleState) Exchange[M] {
+	return &scheduledExchange[M]{inner: inner, state: state}
+}
+
+type scheduledExchange[M any] struct {
+	inner Exchange[M]
+	state *scheduleState
+}
+
+func (s *scheduledExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
+	if f, ok := s.state.next(step); ok {
+		switch f.Kind {
+		case StepFaultKill:
+			return nil, fmt.Errorf("%w: worker %d killed at superstep %d", ErrInjectedFault, f.Worker, step)
+		case StepFaultDrop:
+			return nil, fmt.Errorf("%w: batch dropped at superstep %d, detected at barrier", ErrInjectedFault, step)
+		case StepFaultPartition:
+			return nil, fmt.Errorf("%w: mesh partitioned at worker %d boundary, superstep %d", ErrInjectedFault, f.Worker, step)
+		case StepFaultDelay:
+			timer := time.NewTimer(f.Delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+	return s.inner.Exchange(ctx, step, outAll)
+}
+
+func (s *scheduledExchange[M]) Close() error { return s.inner.Close() }

@@ -68,18 +68,24 @@ type tcpFactory struct{ cfg TCPConfig }
 
 func (tcpFactory) kind() string { return "tcp" }
 
-func newExchangeFromFactory[M any](f ExchangeFactory, workers int, o *obs.Observer) (Exchange[M], error) {
+func newExchangeFromFactory[M any](ctx context.Context, f ExchangeFactory, workers int, o *obs.Observer) (Exchange[M], error) {
 	switch ff := f.(type) {
 	case nil:
 		return localExchange[M]{}, nil
 	case tcpFactory:
-		return newTCPExchange[M](workers, ff.cfg.withDefaults(), o)
+		return newTCPExchange[M](ctx, workers, ff.cfg.withDefaults(), o)
 	case faultyFactory:
-		inner, err := newExchangeFromFactory[M](ff.inner, workers, o)
+		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o)
 		if err != nil {
 			return nil, err
 		}
 		return newFaultyExchange[M](inner, ff.fc, ff.state), nil
+	case *ScheduledFaultFactory:
+		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o)
+		if err != nil {
+			return nil, err
+		}
+		return newScheduledExchange[M](inner, ff.state), nil
 	default:
 		return nil, fmt.Errorf("bsp: unknown exchange factory %q", f.kind())
 	}
@@ -116,11 +122,12 @@ type tcpExchange[M any] struct {
 // inject dial failures and black-hole peers.
 var testDialHook func(src, dst int, addr string, timeout time.Duration) (net.Conn, error)
 
-func dialPair(src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
+func dialPair(ctx context.Context, src, dst int, addr string, timeout time.Duration) (net.Conn, error) {
 	if testDialHook != nil {
 		return testDialHook(src, dst, addr, timeout)
 	}
-	return net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	return d.DialContext(ctx, "tcp", addr)
 }
 
 // The handshake identifying an ordered pair is 8 raw little-endian bytes
@@ -132,7 +139,13 @@ func appendHandshake(dst []byte, src, dstW int) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(dstW))
 }
 
-func newTCPExchange[M any](workers int, cfg TCPConfig, o *obs.Observer) (Exchange[M], error) {
+func newTCPExchange[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer) (Exchange[M], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bsp: tcp exchange setup canceled: %w", err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
@@ -172,6 +185,21 @@ func newTCPExchange[M any](workers int, cfg TCPConfig, o *obs.Observer) (Exchang
 		mu.Unlock()
 		ln.Close()
 	}
+
+	// Watchdog: a context cancellation mid-setup closes the listener, so the
+	// Accept loop below exits promptly (net.ErrClosed) instead of serving out
+	// the setup deadline and leaking until then. setupDone stops the watchdog
+	// itself once setup resolves either way.
+	setupDone := make(chan struct{})
+	defer close(setupDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			o.AddSetupAbort()
+			ln.Close()
+		case <-setupDone:
+		}
+	}()
 
 	// Server side: accept one connection per ordered pair, identify it by
 	// the handshake, and keep its reader on the destination side.
@@ -232,7 +260,7 @@ func newTCPExchange[M any](workers int, cfg TCPConfig, o *obs.Observer) (Exchang
 			wg.Add(1)
 			go func(src, dst int) {
 				defer wg.Done()
-				conn, err := dialPair(src, dst, addr, cfg.DialTimeout)
+				conn, err := dialPair(ctx, src, dst, addr, cfg.DialTimeout)
 				if err != nil {
 					fail(fmt.Errorf("dial %d->%d: %w", src, dst, err))
 					return
@@ -258,6 +286,12 @@ func newTCPExchange[M any](workers int, cfg TCPConfig, o *obs.Observer) (Exchang
 		}
 	}
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		// The watchdog tore setup down: report the cancellation, not the
+		// net.ErrClosed noise it caused.
+		ex.Close()
+		return nil, fmt.Errorf("bsp: tcp exchange setup canceled: %w", cerr)
+	}
 	mu.Lock()
 	err = firstSetupError(errs)
 	mu.Unlock()

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"psgl/internal/bsp"
+	"psgl/internal/core"
+	"psgl/internal/gen"
+	"psgl/internal/obs"
+	"psgl/internal/pattern"
+)
+
+// TestKillOneWorkerBitIdenticalLocal is the ISSUE's acceptance schedule: a
+// seeded schedule that kills one worker at a random superstep must complete
+// with the embedding count bit-identical to the clean run — over several
+// seeds, so the kill lands on different barriers.
+func TestKillOneWorkerBitIdenticalLocal(t *testing.T) {
+	g := gen.ErdosRenyi(80, 500, 1)
+	p := pattern.PG2()
+	// The query runs 4 supersteps; cap the kill step at 2 so every seed's
+	// kill lands on a barrier the run actually reaches.
+	for seed := int64(1); seed <= 5; seed++ {
+		sched := NewKillSchedule(seed, 3, 2)
+		out, err := Run(context.Background(), Config{
+			Graph:   g,
+			Pattern: p,
+			Opts:    core.Options{Workers: 3, Seed: 1},
+		}, sched)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sched, err)
+		}
+		if !out.Identical {
+			t.Fatalf("seed %d (%s): chaos count %d != clean %d",
+				seed, sched, out.ChaosCount, out.CleanCount)
+		}
+		if out.FaultsFired == 0 {
+			t.Fatalf("seed %d (%s): schedule never fired", seed, sched)
+		}
+		if out.Recoveries == 0 && out.Restarts == 0 {
+			t.Fatalf("seed %d (%s): kill fired but neither recovery nor restart recorded", seed, sched)
+		}
+	}
+}
+
+// TestKillOneWorkerBitIdenticalTCP runs the same acceptance schedule over the
+// loopback-TCP exchange: worker death severs real connections, recovery
+// rebuilds the mesh, and the count must still match.
+func TestKillOneWorkerBitIdenticalTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos in -short mode")
+	}
+	g := gen.ErdosRenyi(60, 300, 2)
+	p := pattern.Triangle()
+	for seed := int64(1); seed <= 3; seed++ {
+		sched := NewKillSchedule(seed, 3, 2)
+		out, err := Run(context.Background(), Config{
+			Graph:    g,
+			Pattern:  p,
+			Opts:     core.Options{Workers: 3, Seed: 2},
+			Exchange: bsp.NewTCPExchangeFactory(),
+		}, sched)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sched, err)
+		}
+		if !out.Identical {
+			t.Fatalf("seed %d (%s): chaos count %d != clean %d",
+				seed, sched, out.ChaosCount, out.CleanCount)
+		}
+	}
+}
+
+// TestMixedScheduleSurvives: a denser seeded schedule (kills, drops, delays,
+// partitions) still converges to the clean count.
+func TestMixedScheduleSurvives(t *testing.T) {
+	g := gen.ErdosRenyi(80, 500, 3)
+	p := pattern.Triangle()
+	sched := NewSchedule(42, 3, 4, 4)
+	o := obs.New(nil)
+	out, err := Run(context.Background(), Config{
+		Graph:    g,
+		Pattern:  p,
+		Opts:     core.Options{Workers: 3, Seed: 3},
+		Observer: o,
+	}, sched)
+	if err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	if !out.Identical {
+		t.Fatalf("%s: chaos count %d != clean %d", sched, out.ChaosCount, out.CleanCount)
+	}
+	if out.FaultsInjected != 4 {
+		t.Fatalf("injected %d, want 4", out.FaultsInjected)
+	}
+}
+
+// TestCorruptCheckpointIsDetectedNotSilent: a corrupted snapshot paired with
+// a later kill must surface bsp.ErrCorruptCheckpoint at restore time (the
+// CRC seal), force a whole-query restart, and still end bit-identical —
+// never a silently wrong count.
+func TestCorruptCheckpointIsDetectedNotSilent(t *testing.T) {
+	g := gen.ErdosRenyi(80, 500, 4)
+	p := pattern.PG2()
+	sched := Schedule{Seed: 7, Events: []Event{
+		{Step: 1, Kind: CorruptCheckpoint},
+		{Step: 2, Kind: Kill, Worker: 1},
+	}}
+	out, err := Run(context.Background(), Config{
+		Graph:   g,
+		Pattern: p,
+		Opts:    core.Options{Workers: 3, Seed: 4},
+		// Checkpoint every barrier so the step-1 snapshot exists and the
+		// step-2 kill restores through it.
+		CheckpointEvery: 1,
+	}, sched)
+	if err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	if out.CorruptionsInjected != 1 {
+		t.Fatalf("corruptions injected = %d, want 1", out.CorruptionsInjected)
+	}
+	if out.CorruptionsDetected != 1 {
+		t.Fatalf("corruptions detected = %d, want 1 (corrupt restore must fail loudly)", out.CorruptionsDetected)
+	}
+	if out.Restarts == 0 {
+		t.Fatal("corrupt checkpoint must force a whole-query restart")
+	}
+	if !out.Identical {
+		t.Fatalf("%s: chaos count %d != clean %d", sched, out.ChaosCount, out.CleanCount)
+	}
+}
+
+// TestScheduleDeterminism: the same seed yields the same schedule; different
+// seeds decorrelate.
+func TestScheduleDeterminism(t *testing.T) {
+	a := NewSchedule(9, 4, 6, 5)
+	b := NewSchedule(9, 4, 6, 5)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c := NewSchedule(10, 4, 6, 5)
+	if a.String() == c.String() {
+		t.Fatalf("different seeds identical: %s", a)
+	}
+	k := NewKillSchedule(3, 4, 5)
+	if len(k.Events) != 1 || k.Events[0].Kind != Kill {
+		t.Fatalf("kill schedule %s", k)
+	}
+	if k.Events[0].Step < 1 || k.Events[0].Step > 5 {
+		t.Fatalf("kill step %d out of [1,5]", k.Events[0].Step)
+	}
+	if !strings.Contains(k.String(), "kill@") {
+		t.Fatalf("schedule string %q", k)
+	}
+}
+
+// TestUnsurvivableScheduleFailsLoudly: a schedule that kills the same barrier
+// more times than the whole recovery+restart budget must produce an error,
+// not a wrong count.
+func TestUnsurvivableScheduleFailsLoudly(t *testing.T) {
+	g := gen.ErdosRenyi(40, 150, 5)
+	p := pattern.Triangle()
+	events := make([]Event, 0, 40)
+	for i := 0; i < 40; i++ {
+		events = append(events, Event{Step: 1, Kind: Kill, Worker: i % 2})
+	}
+	_, err := Run(context.Background(), Config{
+		Graph:         g,
+		Pattern:       p,
+		Opts:          core.Options{Workers: 2, Seed: 5},
+		MaxRecoveries: 2,
+		MaxRestarts:   1,
+	}, Schedule{Seed: 11, Events: events})
+	if err == nil {
+		t.Fatal("unsurvivable schedule must fail")
+	}
+	if !strings.Contains(err.Error(), "did not survive") {
+		t.Fatalf("error %v", err)
+	}
+}
+
+// TestDelayOnlyScheduleNeedsNoRecovery: pure delay faults slow barriers but
+// never fail them; counts match with zero recoveries and zero restarts.
+func TestDelayOnlyScheduleNeedsNoRecovery(t *testing.T) {
+	g := gen.ErdosRenyi(60, 300, 6)
+	p := pattern.Triangle()
+	sched := Schedule{Seed: 13, Events: []Event{
+		{Step: 1, Kind: Delay, Delay: 2 * time.Millisecond},
+		{Step: 2, Kind: Delay, Delay: 2 * time.Millisecond},
+	}}
+	out, err := Run(context.Background(), Config{
+		Graph:   g,
+		Pattern: p,
+		Opts:    core.Options{Workers: 3, Seed: 6},
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Identical {
+		t.Fatalf("chaos count %d != clean %d", out.ChaosCount, out.CleanCount)
+	}
+	if out.Recoveries != 0 || out.Restarts != 0 {
+		t.Fatalf("delay-only schedule recovered (%d) or restarted (%d)", out.Recoveries, out.Restarts)
+	}
+}

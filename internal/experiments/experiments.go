@@ -521,6 +521,7 @@ func ByName(name string) (func() string, error) {
 		"makespan":  Makespan,
 		"hotpath":   Hotpath,
 		"serve":     Serve,
+		"chaos":     Chaos,
 		"all":       All,
 	}
 	fn, ok := m[name]

@@ -10,7 +10,7 @@ import (
 // plain `go test ./...` still validates this package.
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "all"} {
+	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "chaos", "all"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
@@ -73,6 +73,38 @@ func TestMakespanReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("makespan report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestChaosReport runs the full chaos experiment: every seeded schedule —
+// kills, the mixed schedule, and the corruption pair, over both exchanges —
+// must come back bit-identical, and the kills must have actually forced
+// recovery work (a chaos report with zero recoveries tested nothing).
+func TestChaosReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiment in -short mode")
+	}
+	rep, err := runChaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExactRuns != rep.Runs {
+		t.Fatalf("only %d/%d runs bit-identical: %+v", rep.ExactRuns, rep.Runs, rep.Cells)
+	}
+	if rep.Recoveries == 0 && rep.Restarts == 0 {
+		t.Fatalf("no recovery work across %d runs; faults never bit", rep.Runs)
+	}
+	transports := map[string]bool{}
+	corruptionsDetected := 0
+	for _, c := range rep.Cells {
+		transports[c.Transport] = true
+		corruptionsDetected += c.CorruptionsDetected
+	}
+	if !transports["local"] || !transports["tcp"] {
+		t.Fatalf("missing a transport: %v", transports)
+	}
+	if corruptionsDetected == 0 {
+		t.Fatal("corruption schedule ran but no corruption was detected")
 	}
 }
 

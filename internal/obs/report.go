@@ -33,6 +33,14 @@ type Snapshot struct {
 	Restarts           int64         `json:"restarts"`
 	Recoveries         int64         `json:"recoveries"`
 	Aborts             int64         `json:"aborts"`
+	SetupAborts        int64         `json:"setup_aborts"`
+
+	// Worker-plane counters (monotonic; fed by the serving tier's registry
+	// sweeper and query dispatcher).
+	HeartbeatMisses int64 `json:"heartbeat_misses"`
+	Evictions       int64 `json:"evictions"`
+	QueryRetries    int64 `json:"query_retries"`
+	HedgedQueries   int64 `json:"hedged_queries"`
 
 	// Logical end-of-run state (exactly-once; zero until RunEnded).
 	Ended          bool             `json:"ended"`
@@ -71,6 +79,11 @@ func (o *Observer) Snapshot() Snapshot {
 		Restarts:           o.restarts.Load(),
 		Recoveries:         o.recoveries.Load(),
 		Aborts:             o.aborts.Load(),
+		SetupAborts:        o.setupAborts.Load(),
+		HeartbeatMisses:    o.heartbeatMisses.Load(),
+		Evictions:          o.evictions.Load(),
+		QueryRetries:       o.queryRetries.Load(),
+		HedgedQueries:      o.hedgedQueries.Load(),
 	}
 	o.mu.Lock()
 	s.Ended = o.ended
@@ -129,10 +142,14 @@ func (o *Observer) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "checkpoints: %d saves, %d B total, %v encode+store\n",
 			s.CheckpointSaves, s.CheckpointBytes, s.CheckpointSaveTime.Round(time.Microsecond))
 	}
-	if s.Retries+s.Restores+s.Restarts+s.Recoveries+s.Aborts > 0 {
-		fmt.Fprintf(w, "faults: %d retries, %d recoveries (%d restores in %v, %d restarts), %d aborts\n",
+	if s.Retries+s.Restores+s.Restarts+s.Recoveries+s.Aborts+s.SetupAborts > 0 {
+		fmt.Fprintf(w, "faults: %d retries, %d recoveries (%d restores in %v, %d restarts), %d aborts, %d setup aborts\n",
 			s.Retries, s.Recoveries, s.Restores, s.RestoreTime.Round(time.Microsecond),
-			s.Restarts, s.Aborts)
+			s.Restarts, s.Aborts, s.SetupAborts)
+	}
+	if s.HeartbeatMisses+s.Evictions+s.QueryRetries+s.HedgedQueries > 0 {
+		fmt.Fprintf(w, "worker plane: %d heartbeat misses, %d evictions, %d query retries, %d hedged dispatches\n",
+			s.HeartbeatMisses, s.Evictions, s.QueryRetries, s.HedgedQueries)
 	}
 
 	if len(s.Counters) > 0 {

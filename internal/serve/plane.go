@@ -1,0 +1,580 @@
+// The coordinator half of the remote worker plane. With Config.Plane set,
+// the server stops executing queries in-process and becomes a control plane
+// over a fleet of psgl-worker processes: workers join a bsp.Registry
+// (fingerprint-checked, generation-numbered), prove liveness with heartbeats,
+// and execute queries dispatched to their /exec endpoint. Worker death is
+// detected two ways — a failed dispatch (fast path) and missed heartbeats
+// (the sweeper) — and both end in eviction plus retry of the query on a
+// surviving worker. Below quorum the server degrades loudly: 503 with
+// Retry-After, never a hang and never a silently partial answer.
+//
+// Dispatch policy, mirroring hedged-request serving practice:
+//
+//   - count queries: hedged. After HedgeDelay with no reply, a second worker
+//     gets the same query; first valid reply wins, the loser is canceled.
+//   - streams: failover only before the first body byte. Once embeddings
+//     have reached the client a retry would duplicate them, so a mid-stream
+//     death surfaces as a truncated stream (no `done` trailer).
+//
+// Every reply is validated against the registry's current generation for the
+// answering worker, so a worker that died, restarted, and rejoined cannot
+// have a stale incarnation's reply trusted as current.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/bsp"
+	"psgl/internal/core"
+	"psgl/internal/obs"
+)
+
+// PlaneConfig enables and tunes the remote worker plane.
+type PlaneConfig struct {
+	// Quorum is the minimum alive worker count required to serve queries;
+	// below it /query answers 503 with Retry-After. 0 means 1.
+	Quorum int
+	// HeartbeatInterval is the beat cadence workers are told to keep at
+	// join. 0 means 500ms.
+	HeartbeatInterval time.Duration
+	// MissLimit is how many consecutive missed intervals evict a worker.
+	// 0 means 3.
+	MissLimit int
+	// HedgeDelay is how long a count dispatch waits before speculatively
+	// sending the query to a second worker. 0 means 2s; negative disables
+	// hedging.
+	HedgeDelay time.Duration
+	// RetryAfter is the Retry-After hint on degraded 503s. 0 means 1s.
+	RetryAfter time.Duration
+	// DispatchTimeout bounds one worker dispatch attempt. 0 means no extra
+	// bound beyond the query deadline.
+	DispatchTimeout time.Duration
+	// Clock overrides time.Now for the registry (deterministic tests).
+	Clock func() time.Time
+	// SweepInterval is the liveness sweeper cadence. 0 means
+	// HeartbeatInterval; negative disables the background sweeper (tests
+	// drive Sweep directly).
+	SweepInterval time.Duration
+}
+
+func (c PlaneConfig) withDefaults() PlaneConfig {
+	if c.Quorum <= 0 {
+		c.Quorum = 1
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.MissLimit <= 0 {
+		c.MissLimit = 3
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.HeartbeatInterval
+	}
+	return c
+}
+
+// plane is the coordinator's runtime state for the worker tier.
+type plane struct {
+	cfg    PlaneConfig
+	reg    *bsp.Registry
+	obs    *obs.Observer
+	client *http.Client
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+
+	// Dispatch counters for /stats.
+	dispatched  atomic.Int64
+	hedged      atomic.Int64
+	failovers   atomic.Int64
+	staleReject atomic.Int64
+	degraded    atomic.Int64
+}
+
+func newPlane(cfg PlaneConfig, o *obs.Observer) *plane {
+	cfg = cfg.withDefaults()
+	pl := &plane{
+		cfg:       cfg,
+		obs:       o,
+		client:    &http.Client{},
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	pl.reg = bsp.NewRegistry(bsp.RegistryConfig{
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		MissLimit:         cfg.MissLimit,
+		Clock:             cfg.Clock,
+		Observer:          o,
+	})
+	if cfg.SweepInterval > 0 {
+		go pl.sweeper()
+	} else {
+		close(pl.sweepDone)
+	}
+	return pl
+}
+
+func (pl *plane) sweeper() {
+	defer close(pl.sweepDone)
+	t := time.NewTicker(pl.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-pl.stopSweep:
+			return
+		case <-t.C:
+			pl.reg.Sweep()
+		}
+	}
+}
+
+func (pl *plane) stop() {
+	select {
+	case <-pl.stopSweep:
+	default:
+		close(pl.stopSweep)
+	}
+	<-pl.sweepDone
+}
+
+// Join protocol bodies. The fingerprint travels as the same 16-hex-digit
+// string /stats prints, so 64-bit values survive JSON exactly.
+type joinRequest struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type joinResponse struct {
+	Gen         uint64 `json:"gen"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	MissLimit   int    `json:"miss_limit"`
+}
+
+type beatRequest struct {
+	ID  string `json:"id"`
+	Gen uint64 `json:"gen"`
+}
+
+func (s *Server) handleWorkerJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad join body: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		jsonError(w, http.StatusBadRequest, "join needs addr")
+		return
+	}
+	if want := fmt.Sprintf("%016x", s.fp); req.Fingerprint != want {
+		// A worker resident over a different graph can never answer this
+		// server's queries; 412 tells it the mismatch is permanent (no
+		// rejoin loop will fix it).
+		jsonError(w, http.StatusPreconditionFailed,
+			"graph fingerprint mismatch: worker %s, coordinator %s", req.Fingerprint, want)
+		return
+	}
+	gen, err := s.plane.reg.Join(req.ID, req.Addr, s.fp)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(joinResponse{
+		Gen:         gen,
+		HeartbeatMS: s.plane.cfg.HeartbeatInterval.Milliseconds(),
+		MissLimit:   s.plane.cfg.MissLimit,
+	})
+}
+
+func (s *Server) handleWorkerBeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req beatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	switch err := s.plane.reg.Heartbeat(req.ID, req.Gen); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, bsp.ErrStaleGeneration), errors.Is(err, bsp.ErrEvicted):
+		// 409: this incarnation is dead to the coordinator; rejoin.
+		jsonError(w, http.StatusConflict, "%v", err)
+	default:
+		jsonError(w, http.StatusNotFound, "%v", err)
+	}
+}
+
+func (s *Server) handleWorkerLeave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req beatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad leave body: %v", err)
+		return
+	}
+	switch err := s.plane.reg.Leave(req.ID, req.Gen); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, bsp.ErrStaleGeneration):
+		jsonError(w, http.StatusConflict, "%v", err)
+	default:
+		jsonError(w, http.StatusNotFound, "%v", err)
+	}
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	type workerDoc struct {
+		ID     string `json:"id"`
+		Addr   string `json:"addr"`
+		Gen    uint64 `json:"gen"`
+		State  string `json:"state"`
+		Misses int    `json:"misses"`
+	}
+	var doc struct {
+		Epoch   uint64      `json:"epoch"`
+		Alive   int         `json:"alive"`
+		Quorum  int         `json:"quorum"`
+		Workers []workerDoc `json:"workers"`
+	}
+	doc.Epoch = s.plane.reg.Epoch()
+	doc.Alive = s.plane.reg.NumAlive()
+	doc.Quorum = s.plane.cfg.Quorum
+	for _, m := range s.plane.reg.Members() {
+		doc.Workers = append(doc.Workers, workerDoc{
+			ID: m.ID, Addr: m.Addr, Gen: m.Gen, State: m.State.String(), Misses: m.Misses,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// values re-encodes parsed query params for forwarding to a worker's /exec,
+// with the deadline rewritten to the time remaining at dispatch.
+func (q queryParams) values(remaining time.Duration) url.Values {
+	v := url.Values{}
+	v.Set("pattern", q.patternSrc)
+	if q.limit > 0 {
+		v.Set("limit", strconv.FormatInt(q.limit, 10))
+	}
+	if ms := remaining.Milliseconds(); ms > 0 {
+		v.Set("deadline_ms", strconv.FormatInt(ms, 10))
+	}
+	if q.countOnly {
+		v.Set("count_only", "true")
+	}
+	v.Set("workers", strconv.Itoa(q.workers))
+	switch q.strategy {
+	case core.StrategyRandom:
+		v.Set("strategy", "random")
+	case core.StrategyRoulette:
+		v.Set("strategy", "roulette")
+	default:
+		v.Set("strategy", "wa")
+	}
+	return v
+}
+
+// workerReply is one worker's complete /exec response.
+type workerReply struct {
+	worker string
+	status int
+	body   []byte
+}
+
+// errStaleReply marks a reply from a retired incarnation — retryable, and
+// never forwarded to the client.
+var errStaleReply = errors.New("serve: reply from stale worker generation")
+
+// execOnce sends one count dispatch to wk and validates the reply's
+// generation. 4xx replies are returned as non-error workerReply values (the
+// worker deterministically rejected the query; retrying elsewhere would
+// yield the same answer); transport errors, 5xx, and stale generations
+// return errors so the caller retries.
+func (pl *plane) execOnce(ctx context.Context, wk bsp.WorkerInfo, vals url.Values) (workerReply, error) {
+	if pl.cfg.DispatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pl.cfg.DispatchTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+wk.Addr+"/exec",
+		bytes.NewReader([]byte(vals.Encode())))
+	if err != nil {
+		return workerReply{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := pl.client.Do(req)
+	if err != nil {
+		return workerReply{}, fmt.Errorf("dispatch to %s: %w", wk.ID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return workerReply{}, fmt.Errorf("reading reply from %s: %w", wk.ID, err)
+	}
+	if err := pl.validateReply(wk.ID, resp); err != nil {
+		return workerReply{}, err
+	}
+	if resp.StatusCode >= 500 {
+		return workerReply{}, fmt.Errorf("worker %s: status %d: %s", wk.ID, resp.StatusCode, body)
+	}
+	return workerReply{worker: wk.ID, status: resp.StatusCode, body: body}, nil
+}
+
+// validateReply checks the reply's generation header against the registry.
+func (pl *plane) validateReply(id string, resp *http.Response) error {
+	gen, err := strconv.ParseUint(resp.Header.Get("X-PSGL-Gen"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("worker %s: missing or bad X-PSGL-Gen header", id)
+	}
+	if err := pl.reg.ValidateGeneration(id, gen); err != nil {
+		pl.staleReject.Add(1)
+		return fmt.Errorf("%w: %v", errStaleReply, err)
+	}
+	return nil
+}
+
+// writeDegraded is the below-quorum answer: 503 with Retry-After, so clients
+// and load balancers back off and retry once a replacement worker joins.
+func (s *Server) writeDegraded(w http.ResponseWriter, alive int) {
+	pl := s.plane
+	pl.degraded.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int(pl.cfg.RetryAfter.Seconds()+0.5)))
+	jsonError(w, http.StatusServiceUnavailable,
+		"worker plane degraded: %d alive, quorum %d; retry shortly", alive, pl.cfg.Quorum)
+}
+
+// remoteCount dispatches a count query to the worker tier with hedging and
+// failover. The first valid reply wins; a dead worker costs one failover,
+// not the query.
+func (s *Server) remoteCount(ctx context.Context, w http.ResponseWriter, params queryParams, observer *obs.Observer) {
+	pl := s.plane
+	alive := pl.reg.Alive()
+	if len(alive) < pl.cfg.Quorum {
+		s.writeDegraded(w, len(alive))
+		return
+	}
+	remaining := params.deadline
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	vals := params.values(remaining)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		rep workerReply
+		err error
+	}
+	results := make(chan outcome, len(alive))
+	next := 0
+	launch := func() bool {
+		if next >= len(alive) {
+			return false
+		}
+		wk := alive[next]
+		next++
+		pl.dispatched.Add(1)
+		go func() {
+			rep, err := pl.execOnce(cctx, wk, vals)
+			results <- outcome{rep, err}
+		}()
+		return true
+	}
+	launch()
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if pl.cfg.HedgeDelay > 0 {
+		hedge := time.NewTimer(pl.cfg.HedgeDelay)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil // hedge at most once per query
+			if launch() {
+				outstanding++
+				pl.hedged.Add(1)
+				observer.AddHedgedQuery()
+			}
+		case oc := <-results:
+			outstanding--
+			if oc.err == nil {
+				s.completed.Add(1)
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-PSGL-Worker", oc.rep.worker)
+				w.WriteHeader(oc.rep.status)
+				w.Write(oc.rep.body)
+				return
+			}
+			lastErr = oc.err
+			if ctx.Err() == nil && launch() {
+				outstanding++
+				pl.failovers.Add(1)
+				observer.AddQueryRetry()
+			}
+		case <-ctx.Done():
+			s.deadlineExceeded.Add(1)
+			jsonError(w, http.StatusGatewayTimeout, "query canceled: %v", ctx.Err())
+			return
+		}
+	}
+	// Every candidate failed. If the failures took us below quorum, say so
+	// with Retry-After; otherwise it's a plain upstream failure.
+	s.failed.Add(1)
+	if pl.reg.NumAlive() < pl.cfg.Quorum {
+		s.writeDegraded(w, pl.reg.NumAlive())
+		return
+	}
+	jsonError(w, http.StatusBadGateway, "all workers failed: %v", lastErr)
+}
+
+// remoteStream proxies a streaming query to one worker, failing over to the
+// next only while zero body bytes have been written. After the first byte
+// the stream is committed: a mid-stream worker death reaches the client as
+// a truncated stream with no `done` trailer, which NDJSON consumers must
+// treat as an incomplete result.
+func (s *Server) remoteStream(ctx context.Context, w http.ResponseWriter, params queryParams, observer *obs.Observer) {
+	pl := s.plane
+	alive := pl.reg.Alive()
+	if len(alive) < pl.cfg.Quorum {
+		s.writeDegraded(w, len(alive))
+		return
+	}
+	remaining := params.deadline
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	vals := params.values(remaining)
+
+	var lastErr error
+	for i, wk := range alive {
+		if i > 0 {
+			pl.failovers.Add(1)
+			observer.AddQueryRetry()
+		}
+		pl.dispatched.Add(1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+wk.Addr+"/exec",
+			bytes.NewReader([]byte(vals.Encode())))
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		resp, err := pl.client.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("dispatch to %s: %w", wk.ID, err)
+			continue
+		}
+		if err := pl.validateReply(wk.ID, resp); err != nil {
+			resp.Body.Close()
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("worker %s: status %d: %s", wk.ID, resp.StatusCode, body)
+			continue
+		}
+		// Committed: relay status, headers, and body.
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.Header().Set("X-PSGL-Worker", wk.ID)
+		w.WriteHeader(resp.StatusCode)
+		n, copyErr := io.Copy(&flushWriter{w: w}, resp.Body)
+		resp.Body.Close()
+		if copyErr != nil && n == 0 && resp.StatusCode == http.StatusOK {
+			// Nothing reached the client; note the failure but the header is
+			// already written, so report it in-band as an NDJSON error line.
+			json.NewEncoder(w).Encode(map[string]string{"error": copyErr.Error()})
+		}
+		if copyErr != nil {
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+		return
+	}
+	s.failed.Add(1)
+	if pl.reg.NumAlive() < pl.cfg.Quorum {
+		s.writeDegraded(w, pl.reg.NumAlive())
+		return
+	}
+	jsonError(w, http.StatusBadGateway, "all workers failed: %v", lastErr)
+}
+
+// flushWriter flushes after every write so embeddings stream to the client
+// as the worker produces them instead of buffering in the proxy.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+// PlaneStats is the /stats worker-plane section.
+type PlaneStats struct {
+	Quorum   int               `json:"quorum"`
+	Alive    int               `json:"alive"`
+	Degraded bool              `json:"degraded"`
+	Epoch    uint64            `json:"epoch"`
+	Registry bsp.RegistryStats `json:"registry"`
+	Dispatch struct {
+		Dispatched   int64 `json:"dispatched"`
+		Hedged       int64 `json:"hedged"`
+		Failovers    int64 `json:"failovers"`
+		StaleReplies int64 `json:"stale_replies"`
+		Degraded503s int64 `json:"degraded_503s"`
+	} `json:"dispatch"`
+}
+
+func (pl *plane) stats() *PlaneStats {
+	ps := &PlaneStats{
+		Quorum:   pl.cfg.Quorum,
+		Alive:    pl.reg.NumAlive(),
+		Epoch:    pl.reg.Epoch(),
+		Registry: pl.reg.Stats(),
+	}
+	ps.Degraded = ps.Alive < ps.Quorum
+	ps.Dispatch.Dispatched = pl.dispatched.Load()
+	ps.Dispatch.Hedged = pl.hedged.Load()
+	ps.Dispatch.Failovers = pl.failovers.Load()
+	ps.Dispatch.StaleReplies = pl.staleReject.Load()
+	ps.Dispatch.Degraded503s = pl.degraded.Load()
+	return ps
+}

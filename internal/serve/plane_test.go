@@ -1,0 +1,401 @@
+package serve
+
+// Worker-plane tests: registration, dispatch, hedging, failover around a
+// killed worker, generation validation of replies, degraded 503s below
+// quorum, and recovery once a replacement joins. Workers here are real
+// StartWorker runtimes over the same graph (in-process, separate listeners),
+// except where a hand-rolled fake worker is needed to forge a stale reply.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"psgl/internal/core"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+)
+
+// testGraphOther is a deliberately different graph (different fingerprint)
+// for the mismatch test.
+func testGraphOther(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.ErdosRenyi(50, 200, 3)
+}
+
+// planeServer builds a coordinator with a worker plane and n real workers.
+func planeServer(t *testing.T, cfg Config, n int) (*Server, *httptest.Server, []*Worker) {
+	t.Helper()
+	g := testGraph(t)
+	if cfg.Plane == nil {
+		cfg.Plane = &PlaneConfig{}
+	}
+	s, ts := newTestServer(t, g, cfg)
+	workers := make([]*Worker, n)
+	for i := range workers {
+		w, err := StartWorker(g, WorkerConfig{
+			ID:          fmt.Sprintf("w%d", i+1),
+			Coordinator: ts.URL,
+			Serve:       Config{Workers: 2, MaxInFlight: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		t.Cleanup(w.Kill)
+	}
+	return s, ts, workers
+}
+
+func expectedCount(t *testing.T, pat string) int64 {
+	t.Helper()
+	p, err := pattern.Parse(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(testGraph(t), p, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Count
+}
+
+func TestPlaneCountDispatch(t *testing.T) {
+	_, ts, _ := planeServer(t, Config{}, 2)
+	want := expectedCount(t, "triangle")
+
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-PSGL-Worker") == "" {
+		t.Fatal("reply missing X-PSGL-Worker attribution")
+	}
+	var cr countResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Count != want {
+		t.Fatalf("remote count %d, local %d", cr.Count, want)
+	}
+}
+
+func TestPlaneStreamDispatch(t *testing.T) {
+	_, ts, _ := planeServer(t, Config{}, 1)
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	lines, done := 0, false
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		if d, ok := m["done"].(bool); ok && d {
+			done = true
+			break
+		}
+		if _, ok := m["embedding"]; !ok {
+			t.Fatalf("unexpected line %v", m)
+		}
+		lines++
+	}
+	if !done {
+		t.Fatal("stream missing done trailer")
+	}
+	if lines != 5 {
+		t.Fatalf("streamed %d embeddings, want 5", lines)
+	}
+}
+
+// TestPlaneFailoverOnDeadWorker: kill one of two workers; the next query's
+// dispatch to the corpse fails over to the survivor and still answers 200
+// with the exact count.
+func TestPlaneFailoverOnDeadWorker(t *testing.T) {
+	s, ts, workers := planeServer(t, Config{}, 2)
+	want := expectedCount(t, "triangle")
+	// w1 sorts first, so killing it guarantees the first dispatch hits the
+	// corpse and exercises failover.
+	workers[0].Kill()
+
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after worker death", resp.StatusCode)
+	}
+	var cr countResponse
+	json.NewDecoder(resp.Body).Decode(&cr)
+	if cr.Count != want {
+		t.Fatalf("failover count %d, want %d", cr.Count, want)
+	}
+	if got := resp.Header.Get("X-PSGL-Worker"); got != "w2" {
+		t.Fatalf("answered by %q, want the survivor w2", got)
+	}
+	st := s.Stats()
+	if st.Plane == nil || st.Plane.Dispatch.Failovers == 0 {
+		t.Fatalf("failover not counted: %+v", st.Plane)
+	}
+}
+
+// TestPlaneDegradedBelowQuorumAndRecovery is the ISSUE's serving acceptance
+// path: below quorum the server answers 503 with Retry-After (never hangs,
+// never 500s), and recovers to 200s once a replacement worker registers.
+func TestPlaneDegradedBelowQuorumAndRecovery(t *testing.T) {
+	g := testGraph(t)
+	s, ts := newTestServer(t, g, Config{Plane: &PlaneConfig{
+		Quorum:            2,
+		HeartbeatInterval: 20 * time.Millisecond,
+		MissLimit:         3,
+	}})
+	w1, err := StartWorker(g, WorkerConfig{ID: "w1", Coordinator: ts.URL, Serve: Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w1.Kill)
+
+	// One worker < quorum 2: degraded.
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("below quorum: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	// A second worker registers: recovered.
+	w2, err := StartWorker(g, WorkerConfig{ID: "w2", Coordinator: ts.URL, Serve: Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w2.Kill)
+	resp, err = http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at quorum: status %d, want 200", resp.StatusCode)
+	}
+
+	// Kill w2 without a goodbye; the sweeper must evict it on missed beats
+	// and the server must degrade again — with Retry-After, not a hang.
+	w2.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.plane.reg.NumAlive() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after eviction: status %d, want 503", resp.StatusCode)
+	}
+
+	// A replacement registers under the same ID (a restart): new generation,
+	// service restored.
+	w2b, err := StartWorker(g, WorkerConfig{ID: "w2", Coordinator: ts.URL, Serve: Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w2b.Kill)
+	resp, err = http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after replacement: status %d, want 200", resp.StatusCode)
+	}
+	st := s.Stats()
+	if st.Plane.Registry.Evictions == 0 {
+		t.Fatalf("eviction not counted: %+v", st.Plane.Registry)
+	}
+	if st.Plane.Registry.Rejoins == 0 {
+		t.Fatalf("rejoin not counted: %+v", st.Plane.Registry)
+	}
+	if st.Plane.Dispatch.Degraded503s < 2 {
+		t.Fatalf("degraded 503s = %d, want >= 2", st.Plane.Dispatch.Degraded503s)
+	}
+}
+
+// TestPlaneHedgedDispatch: with a slow first worker and a short hedge delay,
+// the hedge wins and the hedged counter records the speculation.
+func TestPlaneHedgedDispatch(t *testing.T) {
+	g := testGraph(t)
+	fp := fmt.Sprintf("%016x", g.Fingerprint())
+	s, ts := newTestServer(t, g, Config{Plane: &PlaneConfig{HedgeDelay: 30 * time.Millisecond}})
+
+	// Two fake workers: "a" stalls, "b" answers instantly. IDs sort a < b,
+	// so the first dispatch always stalls and only the hedge completes.
+	mkWorker := func(id string, delay time.Duration) string {
+		var gen uint64
+		fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(delay)
+			w.Header().Set("X-PSGL-Gen", fmt.Sprintf("%d", gen))
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"trace_id":"x","canonical":"c","pattern":"p","count":42,"wall_ms":1}`)
+		}))
+		t.Cleanup(fake.Close)
+		addr := strings.TrimPrefix(fake.URL, "http://")
+		body := fmt.Sprintf(`{"id":%q,"addr":%q,"fingerprint":%q}`, id, addr, fp)
+		resp, err := http.Post(ts.URL+"/workers/join", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr joinResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		gen = jr.Gen
+		return addr
+	}
+	mkWorker("a", 2*time.Second)
+	mkWorker("b", 0)
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-PSGL-Worker"); got != "b" {
+		t.Fatalf("answered by %q, want the hedge b", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not cut the tail: %v", elapsed)
+	}
+	if s.plane.hedged.Load() != 1 {
+		t.Fatalf("hedged = %d, want 1", s.plane.hedged.Load())
+	}
+}
+
+// TestPlaneStaleGenerationReplyRejected: a reply carrying a retired
+// incarnation's generation must never be forwarded to the client.
+func TestPlaneStaleGenerationReplyRejected(t *testing.T) {
+	g := testGraph(t)
+	fp := fmt.Sprintf("%016x", g.Fingerprint())
+	s, ts := newTestServer(t, g, Config{Plane: &PlaneConfig{HedgeDelay: -1}})
+
+	// A fake worker that always answers with its FIRST generation, even
+	// after a restart re-registered it under a newer one.
+	var staleGen uint64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-PSGL-Gen", fmt.Sprintf("%d", staleGen))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"count":999999}`)
+	}))
+	t.Cleanup(fake.Close)
+	addr := strings.TrimPrefix(fake.URL, "http://")
+
+	join := func() uint64 {
+		body := fmt.Sprintf(`{"id":"wx","addr":%q,"fingerprint":%q}`, addr, fp)
+		resp, err := http.Post(ts.URL+"/workers/join", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr joinResponse
+		json.NewDecoder(resp.Body).Decode(&jr)
+		return jr.Gen
+	}
+	staleGen = join() // first incarnation
+	newGen := join()  // "restart": retires staleGen
+	if newGen <= staleGen {
+		t.Fatalf("rejoin gen %d not > %d", newGen, staleGen)
+	}
+
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("stale-generation reply was forwarded to the client")
+	}
+	if s.plane.staleReject.Load() == 0 {
+		t.Fatal("stale reply not counted")
+	}
+}
+
+// TestPlaneFingerprintMismatchRejected: a worker resident over a different
+// graph is refused permanently (412), and StartWorker surfaces it.
+func TestPlaneFingerprintMismatchRejected(t *testing.T) {
+	g := testGraph(t)
+	_, ts := newTestServer(t, g, Config{Plane: &PlaneConfig{}})
+	other := testGraphOther(t)
+	_, err := StartWorker(other, WorkerConfig{ID: "wz", Coordinator: ts.URL, Serve: Config{Workers: 2}})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("err = %v, want fingerprint mismatch", err)
+	}
+}
+
+// TestPlaneWorkersEndpoint: /workers lists membership with states and gens.
+func TestPlaneWorkersEndpoint(t *testing.T) {
+	_, ts, workers := planeServer(t, Config{}, 2)
+	var doc struct {
+		Alive   int `json:"alive"`
+		Workers []struct {
+			ID    string `json:"id"`
+			Gen   uint64 `json:"gen"`
+			State string `json:"state"`
+		} `json:"workers"`
+	}
+	if code := getJSON(t, ts.URL+"/workers", &doc); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if doc.Alive != 2 || len(doc.Workers) != 2 {
+		t.Fatalf("listing %+v", doc)
+	}
+	if doc.Workers[0].ID != "w1" || doc.Workers[0].State != "alive" {
+		t.Fatalf("worker[0] %+v", doc.Workers[0])
+	}
+	_ = workers
+}
+
+// TestWorkerGracefulStopLeaves: Stop leaves the registry cleanly — no
+// eviction, no missed beats.
+func TestWorkerGracefulStopLeaves(t *testing.T) {
+	s, _, workers := planeServer(t, Config{}, 2)
+	if err := workers[0].Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Plane.Registry.Leaves != 1 || st.Plane.Registry.Evictions != 0 {
+		t.Fatalf("registry after graceful stop: %+v", st.Plane.Registry)
+	}
+	if st.Plane.Alive != 1 {
+		t.Fatalf("alive = %d, want 1", st.Plane.Alive)
+	}
+}

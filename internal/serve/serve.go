@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"psgl/internal/bsp"
 	"psgl/internal/core"
 	"psgl/internal/graph"
 	"psgl/internal/obs"
@@ -72,6 +73,20 @@ type Config struct {
 	// query runs under its own Observer tagged with the query's trace ID
 	// (q1, q2, ...). Nil disables tracing.
 	TraceSink obs.Sink
+	// CheckpointEvery > 0 checkpoints every local query's BSP state at every
+	// Nth barrier, enabling in-run recovery and checkpoint-resume retry.
+	CheckpointEvery int
+	// MaxRecoveries bounds in-run checkpoint restores per local query run.
+	MaxRecoveries int
+	// QueryRetries is how many times a failed local count query is re-run,
+	// resuming from its last barrier checkpoint (CheckpointEvery > 0) or
+	// from scratch. 0 disables.
+	QueryRetries int
+	// Plane, when non-nil, turns the server into the coordinator of a
+	// remote worker plane: queries are dispatched to registered psgl-worker
+	// processes instead of running in-process, and below Plane.Quorum the
+	// server answers 503 with Retry-After.
+	Plane *PlaneConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -117,17 +132,27 @@ type Server struct {
 	qid     atomic.Int64
 	lastObs atomic.Pointer[obs.Observer]
 
+	// plane is non-nil when this server coordinates a remote worker tier;
+	// planeObs is its long-lived observer (heartbeat misses, evictions).
+	plane    *plane
+	planeObs *obs.Observer
+
 	// Query outcome counters for /stats.
 	completed        atomic.Int64
 	rejected         atomic.Int64
 	deadlineExceeded atomic.Int64
 	failed           atomic.Int64
 	embeddingsSent   atomic.Int64
+	queryRetries     atomic.Int64
 
 	// hookQueryAdmitted, when non-nil, runs while the query holds an
 	// execution slot, before the engine starts — a test seam for pinning
 	// queries in flight deterministically.
 	hookQueryAdmitted func()
+	// testExchange, when non-nil, overrides the local engine's message
+	// exchange — a test seam for injecting scheduled faults into locally
+	// executed queries.
+	testExchange bsp.ExchangeFactory
 }
 
 // New builds a Server over g. The graph's degree distribution (for
@@ -145,6 +170,11 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		start: time.Now(),
 	}
+	if cfg.Plane != nil {
+		s.planeObs = obs.New(cfg.TraceSink)
+		s.planeObs.SetTag("plane")
+		s.plane = newPlane(*cfg.Plane, s.planeObs)
+	}
 	return s, nil
 }
 
@@ -155,6 +185,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/debug/", obs.HandlerProvider(func() *obs.Observer { return s.lastObs.Load() }))
+	if s.plane != nil {
+		mux.HandleFunc("/workers/join", s.handleWorkerJoin)
+		mux.HandleFunc("/workers/heartbeat", s.handleWorkerBeat)
+		mux.HandleFunc("/workers/leave", s.handleWorkerLeave)
+		mux.HandleFunc("/workers", s.handleWorkers)
+	}
 	return mux
 }
 
@@ -164,6 +200,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	if s.plane != nil {
+		s.plane.stop()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -318,6 +357,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	observer.SetTag(traceID)
 	s.lastObs.Store(observer)
 
+	if s.plane != nil {
+		// Worker-plane mode: this server coordinates; the engine runs on a
+		// remote worker. Plan lookup above still gave us fast 400s and a
+		// warm cache entry for the canonical pattern.
+		if params.countOnly {
+			s.remoteCount(ctx, w, params, observer)
+		} else {
+			s.remoteStream(ctx, w, params, observer)
+		}
+		return
+	}
+
 	opts := core.NewOptions()
 	opts.Workers = params.workers
 	opts.Strategy = params.strategy
@@ -330,6 +381,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// against this graph.
 	opts.PlannedPattern = true
 	opts.InitialVertex = plan.InitialVertex
+	opts.Exchange = s.testExchange
+	if s.cfg.CheckpointEvery > 0 {
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.CheckpointStore = bsp.NewMemCheckpointStore()
+		opts.MaxRecoveries = s.cfg.MaxRecoveries
+	}
 
 	start := time.Now()
 	if params.countOnly {
@@ -351,6 +408,18 @@ type countResponse struct {
 
 func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, plan *Plan, opts core.Options, traceID string, start time.Time) {
 	res, err := core.RunContext(ctx, s.g, plan.Pattern, opts)
+	// Query-level retry: a failed count run re-admits, resuming from its
+	// last barrier checkpoint when one exists (counts stay exact across a
+	// resume — the engine's exactly-once accounting). Deadline expiry is
+	// not retried; the client asked for the bound.
+	for attempt := 0; err != nil && ctx.Err() == nil && attempt < s.cfg.QueryRetries; attempt++ {
+		s.queryRetries.Add(1)
+		if opts.Observer != nil {
+			opts.Observer.AddQueryRetry()
+		}
+		opts.ResumeFrom = opts.CheckpointStore
+		res, err = core.RunContext(ctx, s.g, plan.Pattern, opts)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			s.deadlineExceeded.Add(1)
@@ -481,8 +550,11 @@ type StatsResponse struct {
 		DeadlineExceeded int64 `json:"deadline_exceeded"`
 		Failed           int64 `json:"failed"`
 		EmbeddingsSent   int64 `json:"embeddings_sent"`
+		Retries          int64 `json:"retries"`
 	} `json:"queries"`
-	Draining bool `json:"draining"`
+	// Plane is present only when the server coordinates a worker plane.
+	Plane    *PlaneStats `json:"worker_plane,omitempty"`
+	Draining bool        `json:"draining"`
 }
 
 // Stats assembles the /stats document (also used by tests directly).
@@ -501,6 +573,10 @@ func (s *Server) Stats() StatsResponse {
 	sr.Queries.DeadlineExceeded = s.deadlineExceeded.Load()
 	sr.Queries.Failed = s.failed.Load()
 	sr.Queries.EmbeddingsSent = s.embeddingsSent.Load()
+	sr.Queries.Retries = s.queryRetries.Load()
+	if s.plane != nil {
+		sr.Plane = s.plane.stats()
+	}
 	sr.Draining = s.Draining()
 	return sr
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"psgl/internal/bsp"
 	"psgl/internal/core"
 	"psgl/internal/gen"
 	"psgl/internal/graph"
@@ -571,5 +572,106 @@ func TestMethodNotAllowed(t *testing.T) {
 func TestNewRejectsNilGraph(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
 		t.Fatal("New(nil) succeeded")
+	}
+}
+
+// TestDrainRacingEvictedWorker is the SIGTERM-drain satellite: a coordinator
+// draining while its last worker has just been evicted must answer every
+// racing query with a well-formed 503 JSON body — whether the query loses to
+// the drain gate or to the quorum gate — and Drain must still complete.
+func TestDrainRacingEvictedWorker(t *testing.T) {
+	g := testGraph(t)
+	s, ts := newTestServer(t, g, Config{MaxInFlight: 4, Plane: &PlaneConfig{
+		Quorum:            1,
+		HeartbeatInterval: 20 * time.Millisecond,
+		MissLimit:         3,
+	}})
+	w1, err := StartWorker(g, WorkerConfig{ID: "w1", Coordinator: ts.URL, Serve: Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.plane.reg.NumAlive() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Race a burst of queries against the drain.
+	var wg sync.WaitGroup
+	codes := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			var body map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+				resp.Body.Close()
+				codes <- -2 // malformed error body
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("racing query got %d, want well-formed 503", code)
+		}
+	}
+}
+
+// TestLocalQueryRetryResumesFromCheckpoint: in local mode with QueryRetries
+// and checkpointing on, a query whose exchange dies mid-run is re-admitted,
+// resumes from its last barrier checkpoint, and answers the exact count.
+func TestLocalQueryRetryResumesFromCheckpoint(t *testing.T) {
+	g := testGraph(t)
+	want := func() int64 {
+		p, _ := pattern.Parse("triangle")
+		res, err := core.Run(g, p, core.Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Count
+	}()
+	s, ts := newTestServer(t, g, Config{
+		Workers:         2,
+		CheckpointEvery: 1,
+		QueryRetries:    2,
+	})
+	// One scheduled kill at superstep 1; no in-run recovery budget, so the
+	// run fails and only the serve-layer retry (with ResumeFrom) saves it.
+	s.testExchange = bsp.NewScheduledFaultExchangeFactory(nil, []bsp.StepFault{
+		{Step: 1, Kind: bsp.StepFaultKill, Worker: 0},
+	})
+	var cr struct {
+		Count int64 `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/query?pattern=triangle&count_only=true", &cr); code != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retry", code)
+	}
+	if cr.Count != want {
+		t.Fatalf("retried count %d, want %d", cr.Count, want)
+	}
+	st := s.Stats()
+	if st.Queries.Retries != 1 {
+		t.Fatalf("query retries = %d, want 1", st.Queries.Retries)
+	}
+	if st.Queries.Failed != 0 {
+		t.Fatalf("failed = %d, want 0 (the retry succeeded)", st.Queries.Failed)
 	}
 }

@@ -1,0 +1,266 @@
+// The worker half of the remote worker plane: a process that loads the same
+// data graph as the coordinator, joins its registry, keeps a heartbeat, and
+// executes queries POSTed to /exec. The execution path is the full resident
+// Server (plan cache, admission, streaming) — a worker is a one-graph query
+// server whose only client is the coordinator.
+//
+// Every /exec reply carries X-PSGL-Worker and X-PSGL-Gen headers naming the
+// incarnation that produced it; the coordinator validates the generation
+// against its registry before trusting the reply. A worker whose heartbeat
+// is rejected as stale (the coordinator evicted it, or a restart raced an
+// old beat) rejoins automatically and continues under its new generation.
+//
+// Two shutdown paths, for the chaos harness and tests:
+//
+//   - Stop: graceful — leave the registry, then close the listener.
+//   - Kill: abrupt — close the listener mid-everything, no leave, and stop
+//     beating. The coordinator finds out the hard way (failed dispatches,
+//     missed beats, eviction) — exactly how a real worker dies.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/graph"
+)
+
+// WorkerConfig configures one remote worker.
+type WorkerConfig struct {
+	// ID is the worker's stable name; restarts keep the ID and get a new
+	// generation. Required.
+	ID string
+	// Coordinator is the coordinator's base URL (e.g. http://127.0.0.1:8080).
+	// Required.
+	Coordinator string
+	// ListenAddr is the execution endpoint's listen address. "" means
+	// 127.0.0.1:0 (an ephemeral port, advertised to the coordinator).
+	ListenAddr string
+	// Serve configures the embedded query server (engine workers, admission,
+	// deadlines). Serve.Plane must be nil — a worker doesn't nest planes.
+	Serve Config
+	// JoinAttempts bounds the initial join retry loop (the coordinator may
+	// still be starting). 0 means 20, spaced JoinBackoff apart.
+	JoinAttempts int
+	// JoinBackoff is the delay between join attempts. 0 means 250ms.
+	JoinBackoff time.Duration
+}
+
+// Worker is a running remote worker.
+type Worker struct {
+	cfg WorkerConfig
+	srv *Server
+	ln  net.Listener
+	hs  *http.Server
+
+	gen        atomic.Uint64
+	hbInterval time.Duration
+	client     *http.Client
+
+	stopOnce sync.Once
+	stopHB   chan struct{}
+	wg       sync.WaitGroup
+
+	// Counters for the worker's own /healthz and tests.
+	beats   atomic.Int64
+	rejoins atomic.Int64
+}
+
+// StartWorker builds the embedded server over g, starts the /exec listener,
+// joins the coordinator, and begins heartbeating. It returns only after the
+// first successful join, so a returned Worker is dispatchable.
+func StartWorker(g *graph.Graph, cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("serve: worker needs an ID")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("serve: worker needs a coordinator URL")
+	}
+	if cfg.Serve.Plane != nil {
+		return nil, fmt.Errorf("serve: a worker cannot itself run a worker plane")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.JoinAttempts <= 0 {
+		cfg.JoinAttempts = 20
+	}
+	if cfg.JoinBackoff <= 0 {
+		cfg.JoinBackoff = 250 * time.Millisecond
+	}
+	srv, err := New(g, cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: worker listen: %w", err)
+	}
+	w := &Worker{
+		cfg:    cfg,
+		srv:    srv,
+		ln:     ln,
+		client: &http.Client{Timeout: 10 * time.Second},
+		stopHB: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exec", w.handleExec)
+	mux.HandleFunc("/healthz", w.handleHealthz)
+	w.hs = &http.Server{Handler: mux}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.hs.Serve(ln)
+	}()
+
+	if err := w.join(); err != nil {
+		w.hs.Close()
+		w.wg.Wait()
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+// Addr is the execution endpoint's host:port.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Gen is the worker's current generation number.
+func (w *Worker) Gen() uint64 { return w.gen.Load() }
+
+// Rejoins counts generation bumps after the initial join.
+func (w *Worker) Rejoins() int64 { return w.rejoins.Load() }
+
+// join registers with the coordinator, retrying while it comes up.
+func (w *Worker) join() error {
+	body, _ := json.Marshal(joinRequest{
+		ID:          w.cfg.ID,
+		Addr:        w.Addr(),
+		Fingerprint: fmt.Sprintf("%016x", w.srv.fp),
+	})
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.JoinAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-w.stopHB:
+				return fmt.Errorf("serve: worker stopped while joining")
+			case <-time.After(w.cfg.JoinBackoff):
+			}
+		}
+		resp, err := w.client.Post(w.cfg.Coordinator+"/workers/join", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusPreconditionFailed {
+			// Fingerprint mismatch is permanent: retrying cannot help.
+			var e map[string]string
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return fmt.Errorf("serve: worker rejected: %s", e["error"])
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("join status %d", resp.StatusCode)
+			continue
+		}
+		var jr joinResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		w.gen.Store(jr.Gen)
+		w.hbInterval = time.Duration(jr.HeartbeatMS) * time.Millisecond
+		if w.hbInterval <= 0 {
+			w.hbInterval = 500 * time.Millisecond
+		}
+		return nil
+	}
+	return fmt.Errorf("serve: worker %s could not join %s after %d attempts: %v",
+		w.cfg.ID, w.cfg.Coordinator, w.cfg.JoinAttempts, lastErr)
+}
+
+// heartbeatLoop beats every interval; a 409 (stale or evicted incarnation)
+// triggers an automatic rejoin under a fresh generation.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopHB:
+			return
+		case <-t.C:
+			body, _ := json.Marshal(beatRequest{ID: w.cfg.ID, Gen: w.gen.Load()})
+			resp, err := w.client.Post(w.cfg.Coordinator+"/workers/heartbeat", "application/json", bytes.NewReader(body))
+			if err != nil {
+				continue // coordinator unreachable; keep trying
+			}
+			status := resp.StatusCode
+			resp.Body.Close()
+			if status == http.StatusNoContent {
+				w.beats.Add(1)
+				continue
+			}
+			if status == http.StatusConflict || status == http.StatusNotFound {
+				if err := w.join(); err == nil {
+					w.rejoins.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// handleExec runs one dispatched query through the embedded server, tagging
+// the reply with this incarnation's identity.
+func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("X-PSGL-Worker", w.cfg.ID)
+	rw.Header().Set("X-PSGL-Gen", strconv.FormatUint(w.gen.Load(), 10))
+	w.srv.handleQuery(rw, r)
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("X-PSGL-Worker", w.cfg.ID)
+	rw.Header().Set("X-PSGL-Gen", strconv.FormatUint(w.gen.Load(), 10))
+	w.srv.handleHealthz(rw, r)
+}
+
+// Stop shuts the worker down gracefully: stop beating, tell the coordinator
+// goodbye, drain in-flight queries, close the listener.
+func (w *Worker) Stop(ctx context.Context) error {
+	var err error
+	w.stopOnce.Do(func() {
+		close(w.stopHB)
+		body, _ := json.Marshal(beatRequest{ID: w.cfg.ID, Gen: w.gen.Load()})
+		if resp, postErr := w.client.Post(w.cfg.Coordinator+"/workers/leave", "application/json", bytes.NewReader(body)); postErr == nil {
+			resp.Body.Close()
+		}
+		w.srv.Drain(ctx)
+		err = w.hs.Shutdown(ctx)
+		w.wg.Wait()
+	})
+	return err
+}
+
+// Kill tears the worker down abruptly — no leave, no drain, connections
+// severed. The process-level chaos path: the coordinator must discover the
+// death via failed dispatches and missed heartbeats.
+func (w *Worker) Kill() {
+	w.stopOnce.Do(func() {
+		close(w.stopHB)
+		w.hs.Close()
+		w.wg.Wait()
+	})
+}

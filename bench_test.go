@@ -248,6 +248,11 @@ func BenchmarkHotpath(b *testing.B) {
 	}
 }
 
+// BenchmarkCensus regenerates the motif-census baseline (ESU engine at
+// k=3/4, single-worker cold cache then all-core warm cache) behind
+// `psgl-bench census` and the committed BENCH_census.json.
+func BenchmarkCensus(b *testing.B) { benchExperiment(b, experiments.Census) }
+
 // BenchmarkEngineTriangle is the plain PSgL micro benchmark (allocation
 // profile of the hot path).
 func BenchmarkEngineTriangle(b *testing.B) {

@@ -6,8 +6,8 @@
 //	psgl-bench [flags] <experiment>
 //
 // where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
-// table2, fig7, table3, table4, fig8, makespan, hotpath, serve, chaos, or
-// all.
+// table2, fig7, table3, table4, fig8, makespan, hotpath, serve, chaos,
+// census, or all.
 //
 // `psgl-bench hotpath` additionally writes the machine-readable baseline to
 // BENCH_hotpath.json in the current directory; `psgl-bench serve` does the
@@ -17,6 +17,9 @@
 // and checkpoint-corruption schedules over both exchanges — verifies every
 // chaos count bit-identical against a clean run, and writes
 // BENCH_chaos.json (recoveries, retries, restarts per schedule).
+// `psgl-bench census` sweeps the ESU motif-census engine (k=3,4 over two
+// power-law graphs, single-worker cold cache then all-core warm cache) and
+// writes BENCH_census.json (subgraph throughput and canon-cache hit rates).
 //
 // Observability: `psgl-bench -trace out.jsonl <experiment>` attaches an
 // observer to every PSgL run the experiment performs, writes the JSONL event
@@ -51,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|chaos|all>")
+		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|chaos|census|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +133,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "baseline written to BENCH_chaos.json")
+	}
+	if name == "census" {
+		data, err := experiments.CensusJSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile("BENCH_census.json", data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "baseline written to BENCH_census.json")
 	}
 	fmt.Fprintf(stdout, "(experiment %s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
 	return 0

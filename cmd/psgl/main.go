@@ -4,8 +4,15 @@
 //
 //	psgl -pattern pg2 -graph path/to/edges.txt [flags]
 //	psgl -pattern triangle -gen "chunglu:20000:80000:1.8" [flags]
+//	psgl -pattern "census(4)" -gen "chunglu:5000:15000:2.5" [flags]
 //
 // Generator specs: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M".
+//
+// census(k) selects the ESU motif-census engine instead of pattern listing:
+// every connected k-vertex subgraph shape is counted and the motif histogram
+// is printed as JSON. -workers, -timeout, -verify, -stats, and the
+// observability flags apply; the listing-engine flags (strategy, edge index,
+// checkpointing, TCP exchange) do not and are ignored.
 //
 // Observability: -trace writes a JSONL trace of the run's events and prints
 // the end-of-run report to stderr; -pprof-addr serves net/http/pprof, expvar
@@ -14,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		graphPath   = fs.String("graph", "", "edge-list file to load (SNAP/KONECT format)")
 		genSpec     = fs.String("gen", "", `generator spec: "er:N:M", "chunglu:N:M:GAMMA", "ba:N:K", "rmat:SCALE:M"`)
-		patternName = fs.String("pattern", "pg1", `pattern DSL: pg1..pg5, triangle, square, diamond, house, "cycle(4)", "clique(4)", "path(3)", "star(5)", or "edges(0-1,1-2,2-0)"`)
+		patternName = fs.String("pattern", "pg1", `pattern DSL: pg1..pg5, triangle, square, diamond, house, "cycle(4)", "clique(4)", "path(3)", "star(5)", "edges(0-1,1-2,2-0)", or "census(4)" for the motif census`)
 		workers     = fs.Int("workers", 8, "BSP worker count (>= 1)")
 		strategy    = fs.String("strategy", "wa", "distribution strategy: random, roulette, wa")
 		alpha       = fs.Float64("alpha", 0.5, "workload-aware penalty exponent (0,1]")
@@ -127,13 +135,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usage("%v", err)
 	}
-	p, err := psgl.ParsePattern(*patternName)
+	censusK, isCensus, err := psgl.ParseCensus(*patternName)
 	if err != nil {
 		return usage("%v", err)
 	}
-	if *explain {
-		explainInitialVertex(stdout, g, p)
-		return 0
+	var p *psgl.Pattern
+	if isCensus {
+		if *explain {
+			return usage("-explain applies to pattern listing, not census queries")
+		}
+	} else {
+		p, err = psgl.ParsePattern(*patternName)
+		if err != nil {
+			return usage("%v", err)
+		}
+		if *explain {
+			explainInitialVertex(stdout, g, p)
+			return 0
+		}
 	}
 
 	opts.Workers = *workers
@@ -196,6 +215,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	if isCensus {
+		return runCensus(ctx, g, censusK, *workers, observer, *verify, *showStats, stdout, stderr)
+	}
+
 	fmt.Fprintf(stderr, "graph: %d vertices, %d edges; pattern: %s\n",
 		g.NumVertices(), g.NumEdges(), p)
 	start := time.Now()
@@ -230,6 +253,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "recoveries:       %d checkpoint restores\n", s.Recoveries)
 		}
 		fmt.Fprintf(stderr, "wall time:        %v\n", s.WallTime)
+	}
+	return 0
+}
+
+// runCensus runs the census(k) batch mode: the ESU engine enumerates every
+// connected k-vertex subgraph and the motif histogram is printed as indented
+// JSON on stdout (the classes carry their shapes in the DSL's edges(...) form
+// so the output is self-describing).
+func runCensus(ctx context.Context, g *psgl.Graph, k, workers int, observer *psgl.Observer, verify, showStats bool, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "psgl: "+format+"\n", a...)
+		return 1
+	}
+	fmt.Fprintf(stderr, "graph: %d vertices, %d edges; census: k=%d\n",
+		g.NumVertices(), g.NumEdges(), k)
+	res, err := psgl.CensusContext(ctx, g, k, psgl.CensusOptions{Workers: workers, Observer: observer})
+	if observer != nil {
+		observer.WriteReport(stderr)
+	}
+	if err != nil {
+		return fail("%v", err)
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fail("%v", err)
+	}
+	stdout.Write(append(out, '\n'))
+	if verify {
+		if err := psgl.VerifyCensus(g, res); err != nil {
+			return fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Fprintln(stderr, "verified against the single-thread census oracle")
+	}
+	if showStats {
+		fmt.Fprintf(stderr, "subgraphs:        %d in %d classes\n", res.Subgraphs, len(res.Classes))
+		fmt.Fprintf(stderr, "canon cache:      %d hits / %d misses (%.4f hit rate)\n",
+			res.CacheHits, res.CacheMisses, res.CacheHitRate())
+		fmt.Fprintf(stderr, "workers:          %d\n", res.Workers)
+		fmt.Fprintf(stderr, "wall time:        %v\n", res.Wall)
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,6 +111,97 @@ func TestRunWritesTraceAndReport(t *testing.T) {
 	}
 	if last := events[len(events)-1]; last.Type != obs.EventRunEnd {
 		t.Fatalf("last event = %v, want run_end", last.Type)
+	}
+}
+
+func TestCensusBatchMode(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-gen", "chunglu:300:900:2.0", "-pattern", "census(3)", "-workers", "2", "-verify", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var res struct {
+		K         int   `json:"k"`
+		Subgraphs int64 `json:"subgraphs"`
+		Classes   []struct {
+			Motif string `json:"motif"`
+			Count int64  `json:"count"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("census stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if res.K != 3 || res.Subgraphs == 0 || len(res.Classes) == 0 {
+		t.Fatalf("implausible census output: %+v", res)
+	}
+	if !strings.Contains(stderr, "verified against the single-thread census oracle") {
+		t.Fatalf("census oracle verification missing from stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "canon cache:") {
+		t.Fatalf("-stats census summary missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestCensusGoldenHistogram pins the committed golden histogram the CI census
+// smoke diffs against: same generator, seed, and k as the workflow step.
+func TestCensusGoldenHistogram(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-gen", "chunglu:500:1500:2.0", "-seed", "1", "-pattern", "census(3)", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	type histogram struct {
+		K         int   `json:"k"`
+		Subgraphs int64 `json:"subgraphs"`
+		Classes   []struct {
+			Code  uint32 `json:"code"`
+			Motif string `json:"motif"`
+			Count int64  `json:"count"`
+		} `json:"classes"`
+	}
+	var got, want histogram
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("census stdout is not JSON: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "census_k3_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(golden, &want); err != nil {
+		t.Fatalf("golden file is not JSON: %v", err)
+	}
+	if got.K != want.K || got.Subgraphs != want.Subgraphs || len(got.Classes) != len(want.Classes) {
+		t.Fatalf("census drifted from the committed golden:\ngot  %+v\nwant %+v", got, want)
+	}
+	for i := range want.Classes {
+		if got.Classes[i] != want.Classes[i] {
+			t.Fatalf("class %d drifted from the committed golden: got %+v, want %+v",
+				i, got.Classes[i], want.Classes[i])
+		}
+	}
+}
+
+func TestCensusBatchModeValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"k too large", []string{"-gen", "er:50:100", "-pattern", "census(6)"}, "out of supported range"},
+		{"k too small", []string{"-gen", "er:50:100", "-pattern", "census(1)"}, "out of supported range"},
+		{"malformed k", []string{"-gen", "er:50:100", "-pattern", "census(x)"}, "census wants one integer argument"},
+		{"explain rejected", []string{"-gen", "er:50:100", "-pattern", "census(3)", "-explain"}, "-explain applies to pattern listing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("args %v: exit %d, want usage error 2; stderr:\n%s", tc.args, code, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("args %v: stderr %q, want it to contain %q", tc.args, stderr, tc.wantMsg)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,138 @@
+package centralized
+
+import (
+	"fmt"
+	"sort"
+
+	"psgl/internal/graph"
+)
+
+// Motif census oracle: the naive centralized counterpart of internal/esu,
+// deliberately built on different machinery so the differential suite checks
+// the parallel engine against an independent derivation rather than a second
+// copy of itself. Where ESU guarantees each connected k-subgraph is generated
+// exactly once (exclusive-neighborhood rule, no dedup), this oracle grows
+// connected sets greedily — reaching the same set along many orders — and
+// dedupes through an explicit sorted-tuple map. Where ESU canonicalizes with
+// degree-sequence refinement, this oracle takes the minimum over all k!
+// permutations. Both must produce the same histogram.
+
+// maxCensusK bounds the oracle's subgraph size (matches esu.MaxK; the [5]
+// tuple key and the k! canonicalization assume it).
+const maxCensusK = 5
+
+// MotifCensus counts every connected induced k-vertex subgraph of g, grouped
+// by isomorphism class. The returned histogram maps CanonicalSubgraphCode
+// keys to class counts; total is the number of subgraphs (the histogram's
+// sum). Intended for small graphs only: the set-growing enumeration revisits
+// each subgraph once per connected build order and relies on a dedup map.
+func MotifCensus(g *graph.Graph, k int) (hist map[uint32]int64, total int64) {
+	if k < 2 || k > maxCensusK {
+		panic(fmt.Sprintf("centralized: census size %d out of range [2,%d]", k, maxCensusK))
+	}
+	hist = make(map[uint32]int64)
+	seen := make(map[[maxCensusK]graph.VertexID]struct{})
+	n := g.NumVertices()
+	set := make([]graph.VertexID, 0, k)
+	inSet := make(map[graph.VertexID]bool, k)
+
+	var grow func(root graph.VertexID)
+	grow = func(root graph.VertexID) {
+		if len(set) == k {
+			var key [maxCensusK]graph.VertexID
+			copy(key[:], set)
+			sort.Slice(key[:k], func(i, j int) bool { return key[i] < key[j] })
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			var code uint32
+			bit := 0
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if g.HasEdge(key[i], key[j]) {
+						code |= 1 << uint(bit)
+					}
+					bit++
+				}
+			}
+			hist[CanonicalSubgraphCode(k, code)]++
+			total++
+			return
+		}
+		// Extend by any neighbor of any set member, above the root (so every
+		// subgraph is rooted at its minimum vertex, bounding the dedup map's
+		// churn per root).
+		for _, v := range set {
+			for _, u := range g.Neighbors(v) {
+				if u <= root || inSet[u] {
+					continue
+				}
+				set = append(set, u)
+				inSet[u] = true
+				grow(root)
+				set = set[:len(set)-1]
+				inSet[u] = false
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		root := graph.VertexID(v)
+		set = append(set[:0], root)
+		inSet[root] = true
+		grow(root)
+		inSet[root] = false
+	}
+	return hist, total
+}
+
+// CanonicalSubgraphCode returns the minimum upper-triangle adjacency code of
+// the k-vertex subgraph encoded by code over all k! vertex permutations —
+// the oracle's brute-force canonical form. Pair {i,j} (i<j) occupies bit
+// i's lexicographic pair index, matching internal/esu's encoding, so esu
+// class representatives can be re-canonicalized through this function for
+// histogram comparison.
+func CanonicalSubgraphCode(k int, code uint32) uint32 {
+	if k < 2 || k > maxCensusK {
+		panic(fmt.Sprintf("centralized: census size %d out of range [2,%d]", k, maxCensusK))
+	}
+	// Pair-bit table for this k.
+	var pairBit [maxCensusK][maxCensusK]int
+	bit := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairBit[i][j] = bit
+			pairBit[j][i] = bit
+			bit++
+		}
+	}
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ^uint32(0)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			var c uint32
+			for a := 0; a < k; a++ {
+				for b := a + 1; b < k; b++ {
+					if code&(1<<uint(pairBit[perm[a]][perm[b]])) != 0 {
+						c |= 1 << uint(pairBit[a][b])
+					}
+				}
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for j := i; j < k; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}

@@ -198,7 +198,7 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error
 	if !opts.DisableEdgeIndex {
 		e.ix = bloom.BuildEdgeIndex(g, opts.BloomBitsPerEdge)
 	}
-	e.bitmap = graph.NewBitmapIndex(g, 0)
+	e.bitmap = graph.NewBitmapIndex(g, opts.BitmapMinDegree)
 	n := p.N()
 	e.edgeID = make([][]int, n)
 	for a := range e.edgeID {
@@ -342,6 +342,35 @@ func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
 // buffer owned by the caller's expansion frame.
 func (e *engine) candidates(ctx *bsp.Context[gpsi], m *gpsi, vp int, vd graph.VertexID, wv int, out []graph.VertexID) []graph.VertexID {
 	minDeg := e.p.Degree(wv)
+	// Bitset AND fast path (back-ported from the ESU engine's BitGraph
+	// kernel): when vd is a hub and wv has other already-mapped pattern
+	// neighbors that are hubs too, the candidate set is confined to the
+	// word-wide AND of their adjacency rows — an exact intersection, so the
+	// bloom check against those neighbors is subsumed. It is a strict filter:
+	// every vertex it drops lacks a real edge to a mapped neighbor and would
+	// have been pruned at pending-edge verification, so counts are identical
+	// with the switch off (the BenchmarkHotpath "w/o bitset" configuration).
+	if !e.opts.DisableBitsetAnd {
+		if rowVd := e.bitmap.Row(vd); rowVd != nil {
+			var hubRows [maxPatternVertices][]uint64
+			nHub := 0
+			hubMask := uint32(0)
+			for _, u := range e.p.Neighbors(wv) {
+				if u == vp || !m.isMapped(u) {
+					continue
+				}
+				if r := e.bitmap.Row(m.Map[u]); r != nil {
+					hubRows[nHub] = r
+					nHub++
+					hubMask |= 1 << uint(u)
+				}
+			}
+			if nHub > 0 {
+				ctx.AddCounter("bitset_and", 1)
+				return e.candidatesBitset(ctx, m, vp, wv, minDeg, rowVd, hubRows[:nHub], hubMask, out)
+			}
+		}
+	}
 	for _, d := range e.g.Neighbors(vd) {
 		if e.g.Degree(d) < minDeg {
 			ctx.AddCounter("pruned_degree", 1)
@@ -386,6 +415,70 @@ func (e *engine) candidates(ctx *bsp.Context[gpsi], m *gpsi, vp int, vd graph.Ve
 		}
 		if ok {
 			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// candidatesBitset is the hub-regime body of candidates: it walks the words
+// of vd's bitmap row ANDed with every mapped hub neighbor's row, then applies
+// the same degree/label/injectivity/order filters as the merge path. Bloom
+// checks only remain for mapped neighbors outside hubMask (non-hub vertices
+// have no row; their edges are still verified exactly later). The word loop
+// is inlined — no IterateSet closure — to keep the hot path allocation-free.
+func (e *engine) candidatesBitset(ctx *bsp.Context[gpsi], m *gpsi, vp, wv, minDeg int, rowVd []uint64, hubRows [][]uint64, hubMask uint32, out []graph.VertexID) []graph.VertexID {
+	for i, word := range rowVd {
+		for _, r := range hubRows {
+			word &= r[i]
+		}
+		base := i * 64
+		for word != 0 {
+			d := graph.VertexID(base + bits.TrailingZeros64(word))
+			word &= word - 1
+			if e.g.Degree(d) < minDeg {
+				ctx.AddCounter("pruned_degree", 1)
+				continue
+			}
+			if e.opts.DataLabels != nil && int(e.opts.DataLabels[d]) != e.p.Label(wv) {
+				ctx.AddCounter("pruned_label", 1)
+				continue
+			}
+			if m.uses(d) {
+				ctx.AddCounter("pruned_injective", 1)
+				continue
+			}
+			ok := true
+			for u := 0; u < e.p.N() && ok; u++ {
+				if u == wv || !m.isMapped(u) {
+					continue
+				}
+				if e.p.MustPrecede(wv, u) && !e.ord.Less(d, m.Map[u]) {
+					ctx.AddCounter("pruned_order", 1)
+					ok = false
+				} else if e.p.MustPrecede(u, wv) && !e.ord.Less(m.Map[u], d) {
+					ctx.AddCounter("pruned_order", 1)
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			if e.ix != nil {
+				for _, u := range e.p.Neighbors(wv) {
+					if u == vp || !m.isMapped(u) || hubMask&(1<<uint(u)) != 0 {
+						continue
+					}
+					ctx.AddCounter("index_queries", 1)
+					if !e.ix.MayHaveEdge(d, m.Map[u]) {
+						ctx.AddCounter("pruned_index", 1)
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				out = append(out, d)
+			}
 		}
 	}
 	return out
@@ -646,6 +739,7 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 		PrunedByVerify:      rs.Counters["pruned_verify"],
 		PrunedByLabel:       rs.Counters["pruned_label"],
 		EdgeIndexQueries:    rs.Counters["index_queries"],
+		BitsetAndCandidates: rs.Counters["bitset_and"],
 		Results:             rs.Counters["results"],
 		InitialVertex:       e.initial,
 		Recoveries:          rs.Recoveries,

@@ -32,6 +32,9 @@ type HotpathBenchmark struct {
 func HotpathBenchmarks() []HotpathBenchmark {
 	return []HotpathBenchmark{
 		{"expand", benchmarkExpand},
+		{"expand-sparse-merge", benchmarkExpandSparseMerge},
+		{"expand-hub-bitset", benchmarkExpandHub(false)},
+		{"expand-hub-merge", benchmarkExpandHub(true)},
 		{"gpsi-wire-roundtrip", benchmarkGpsiWireRoundTrip},
 		{"frame-wire-roundtrip", benchmarkFrameWire},
 		{"frame-gob-roundtrip", benchmarkFrameGob},
@@ -60,10 +63,18 @@ func HotpathFrameBytes() (wire, gobBytes int, err error) {
 // newHotpathHarness builds an engine over a skewed mid-size graph plus a
 // detached context and a worker-0 inbox seeded by a real Init pass.
 func newHotpathHarness(p *pattern.Pattern, strategy Strategy) (*engine, *bsp.Context[gpsi], []bsp.Envelope[gpsi], error) {
+	return newHotpathHarnessOpts(p, func(o *Options) { o.Strategy = strategy })
+}
+
+// newHotpathHarnessOpts is newHotpathHarness with an options hook (the bitset
+// fast-path benchmarks flip DisableBitsetAnd / BitmapMinDegree through it).
+func newHotpathHarnessOpts(p *pattern.Pattern, mutate func(*Options)) (*engine, *bsp.Context[gpsi], []bsp.Envelope[gpsi], error) {
 	g := gen.ChungLu(3000, 15000, 1.8, 17)
 	opts := NewOptions()
-	opts.Strategy = strategy
 	opts.Seed = 5
+	if mutate != nil {
+		mutate(&opts)
+	}
 	e, err := newEngine(g, p.BreakAutomorphisms(), opts.normalized())
 	if err != nil {
 		return nil, nil, nil, err
@@ -96,6 +107,67 @@ func benchmarkExpand(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ctx.ResetSends()
 		e.Process(ctx, inbox[i%len(inbox)])
+	}
+}
+
+// benchmarkExpandSparseMerge is benchmarkExpand with the bitset AND fast path
+// disabled. On the sparse default graph the default hub threshold keeps the
+// fast path nearly silent, so this pair proves the switch costs nothing in
+// the sparse regime (the gate is one nil map lookup per candidate set).
+func benchmarkExpandSparseMerge(b *testing.B) {
+	e, ctx, inbox, err := newHotpathHarnessOpts(pattern.Triangle(),
+		func(o *Options) { o.DisableBitsetAnd = true })
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, env := range inbox {
+		e.Process(ctx, env)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ResetSends()
+		e.Process(ctx, inbox[i%len(inbox)])
+	}
+}
+
+// benchmarkExpandHub measures second-level diamond expansions — the regime
+// where a WHITE vertex has two mapped neighbors, so candidate generation can
+// intersect hub rows — with the bitset fast path on (merge=false) or off.
+// BitmapMinDegree drops to 16 so the skewed test graph's hubs qualify.
+func benchmarkExpandHub(disableBitset bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		e, _, inbox, err := newHotpathHarnessOpts(pattern.Diamond(), func(o *Options) {
+			o.BitmapMinDegree = 16
+			o.DisableBitsetAnd = disableBitset
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := bsp.Config{
+			Workers: e.opts.Workers,
+			Owner:   func(v graph.VertexID) int { return e.part.Owner(v) },
+		}
+		// Drive step 1 on the Init inbox to produce the second-level Gpsis
+		// (two vertices mapped, one pending WHITE with two mapped neighbors).
+		step1 := bsp.NewBenchContext[gpsi](cfg, 0, 1)
+		for _, env := range inbox {
+			e.Process(step1, env)
+		}
+		inbox2 := append([]bsp.Envelope[gpsi](nil), step1.Sends(0)...)
+		if len(inbox2) == 0 {
+			b.Fatal("hub harness: no second-level messages for worker 0")
+		}
+		ctx := bsp.NewBenchContext[gpsi](cfg, 0, 2)
+		for _, env := range inbox2 {
+			e.Process(ctx, env)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.ResetSends()
+			e.Process(ctx, inbox2[i%len(inbox2)])
+		}
 	}
 }
 

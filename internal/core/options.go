@@ -67,6 +67,17 @@ type Options struct {
 	DisableEdgeIndex bool
 	// BloomBitsPerEdge sizes the edge index. 0 means 10.
 	BloomBitsPerEdge int
+	// DisableBitsetAnd turns off the bitset AND candidate fast path (the
+	// "w/o bitset" benchmark configuration): candidate generation between hub
+	// vertices always walks the adjacency merge path with approximate bloom
+	// filtering. Counts are identical either way — the fast path is an exact
+	// filter whose rejects the pending-edge verification would prune later.
+	DisableBitsetAnd bool
+	// BitmapMinDegree overrides the hub-degree threshold of the bitmap index
+	// (exact edge verification and the bitset AND candidate fast path both
+	// key off it). 0 keeps the default max(256, |V|/32); lower it to widen
+	// the bitset fast path on dense graphs at the cost of index memory.
+	BitmapMinDegree int
 	// InitialVertex fixes the initial pattern vertex. Negative (or zero
 	// value via NewOptions) selects automatically: the Theorem 5 rule for
 	// cycles and cliques, the Algorithm 4 cost model otherwise.
@@ -206,6 +217,9 @@ type Stats struct {
 	PrunedByLabel       int64
 	// EdgeIndexQueries counts bloom lookups.
 	EdgeIndexQueries int64
+	// BitsetAndCandidates counts candidate generations served by the bitset
+	// AND fast path (hub × hub row intersections) instead of the merge path.
+	BitsetAndCandidates int64
 	// Results is the number of instances found.
 	Results int64
 	// InitialVertex is the pattern vertex the run started from.

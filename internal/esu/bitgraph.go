@@ -1,0 +1,78 @@
+package esu
+
+import (
+	"errors"
+	"fmt"
+
+	"psgl/internal/graph"
+)
+
+// ErrGraphTooLarge reports that a graph exceeds MaxBitGraphVertices — a
+// permanent condition servers surface as a client error, not a retryable one.
+var ErrGraphTooLarge = errors.New("graph exceeds the bitset census engine's vertex cap")
+
+// MaxBitGraphVertices bounds the graphs the census engine accepts. BitGraph
+// stores a dense |V|×|V| bit matrix (|V|²/8 bytes — 512 MiB at the cap), so
+// unlike the CSR engine it cannot take arbitrarily large sparse graphs; the
+// cap turns a would-be multi-gigabyte allocation into a typed error the
+// server can answer with a 400.
+const MaxBitGraphVertices = 1 << 16
+
+// BitGraph is the census engine's adjacency representation: one bitset row
+// per vertex over all vertices, so the ESU extension rule's neighborhood and
+// exclusive-neighborhood sets reduce to word-wide AND / AND-NOT loops
+// (graph.AndCount and friends operate on the same row layout). Rows are
+// stored in one flat slice for locality; Row(v) is a subslice, never a copy.
+type BitGraph struct {
+	n     int
+	words int
+	rows  []uint64 // row v occupies rows[v*words : (v+1)*words]
+	deg   []int32  // popcount of each row, precomputed
+}
+
+// NewBitGraph builds the bitset adjacency of g. It returns an error when g
+// exceeds MaxBitGraphVertices (the dense rows would not fit memory).
+func NewBitGraph(g *graph.Graph) (*BitGraph, error) {
+	n := g.NumVertices()
+	if n > MaxBitGraphVertices {
+		return nil, fmt.Errorf("esu: graph has %d vertices, cap is %d: %w", n, MaxBitGraphVertices, ErrGraphTooLarge)
+	}
+	words := (n + 63) / 64
+	b := &BitGraph{
+		n:     n,
+		words: words,
+		rows:  make([]uint64, n*words),
+		deg:   make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		row := b.rows[v*words : (v+1)*words]
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			row[u/64] |= 1 << (uint(u) % 64)
+		}
+		b.deg[v] = int32(g.Degree(graph.VertexID(v)))
+	}
+	return b, nil
+}
+
+// N returns the number of vertices.
+func (b *BitGraph) N() int { return b.n }
+
+// Words returns the row width in 64-bit words.
+func (b *BitGraph) Words() int { return b.words }
+
+// Row returns v's adjacency bitset. The slice aliases the BitGraph's storage
+// and must not be modified.
+func (b *BitGraph) Row(v graph.VertexID) []uint64 {
+	return b.rows[int(v)*b.words : (int(v)+1)*b.words]
+}
+
+// Degree returns v's degree (the popcount of its row, precomputed).
+func (b *BitGraph) Degree(v graph.VertexID) int { return int(b.deg[v]) }
+
+// HasEdge reports whether {u, v} is an edge: a single bit probe.
+func (b *BitGraph) HasEdge(u, v graph.VertexID) bool {
+	return b.rows[int(u)*b.words+int(v)/64]&(1<<(uint(v)%64)) != 0
+}
+
+// SizeBytes returns the memory footprint of the adjacency rows.
+func (b *BitGraph) SizeBytes() int64 { return int64(len(b.rows)) * 8 }

@@ -1,0 +1,112 @@
+package esu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// relabel applies permutation perm to a k-subgraph code: edge {i,j} becomes
+// {perm[i], perm[j]}.
+func relabel(k int, code uint32, perm []int) uint32 {
+	var out uint32
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if code&(1<<uint(pairIdx[k][i][j])) != 0 {
+				out |= 1 << uint(pairIdx[k][perm[i]][perm[j]])
+			}
+		}
+	}
+	return out
+}
+
+func TestCanonicalCodeKnownForms(t *testing.T) {
+	// k=3: the three labelings of the 2-path must collapse to one canonical
+	// code, distinct from the triangle's.
+	paths := []uint32{
+		1<<pairIdx[3][0][1] | 1<<pairIdx[3][1][2],
+		1<<pairIdx[3][0][1] | 1<<pairIdx[3][0][2],
+		1<<pairIdx[3][0][2] | 1<<pairIdx[3][1][2],
+	}
+	canon := CanonicalCode(3, paths[0])
+	for _, p := range paths[1:] {
+		if CanonicalCode(3, p) != canon {
+			t.Fatalf("2-path labelings disagree: %#x vs %#x", CanonicalCode(3, p), canon)
+		}
+	}
+	triangle := CanonicalCode(3, 1<<pairIdx[3][0][1]|1<<pairIdx[3][0][2]|1<<pairIdx[3][1][2])
+	if triangle == canon {
+		t.Fatal("triangle and 2-path canonicalize identically")
+	}
+	if triangle != 0b111 {
+		t.Fatalf("triangle canonical code %#b, want 0b111", triangle)
+	}
+	// k=4: 4-path vs 4-star vs 4-cycle are three distinct classes with the
+	// same edge count ± 0/1; all must separate.
+	path4 := CanonicalCode(4, 1<<pairIdx[4][0][1]|1<<pairIdx[4][1][2]|1<<pairIdx[4][2][3])
+	star4 := CanonicalCode(4, 1<<pairIdx[4][0][1]|1<<pairIdx[4][0][2]|1<<pairIdx[4][0][3])
+	cyc4 := CanonicalCode(4, 1<<pairIdx[4][0][1]|1<<pairIdx[4][1][2]|1<<pairIdx[4][2][3]|1<<pairIdx[4][0][3])
+	if path4 == star4 || path4 == cyc4 || star4 == cyc4 {
+		t.Fatalf("k=4 classes collide: path=%#x star=%#x cycle=%#x", path4, star4, cyc4)
+	}
+}
+
+func TestMotifDSLRoundTrip(t *testing.T) {
+	code := uint32(1<<pairIdx[3][0][1] | 1<<pairIdx[3][1][2])
+	if got := MotifDSL(3, code); got != "edges(0-1,1-2)" {
+		t.Fatalf("MotifDSL = %q", got)
+	}
+	if got := MotifDSL(3, 0); got != "edges()" {
+		t.Fatalf("MotifDSL(empty) = %q", got)
+	}
+	if got := len(CodeEdges(4, 0b111111)); got != 6 {
+		t.Fatalf("K4 has %d edges in CodeEdges, want 6", got)
+	}
+}
+
+func TestCanonCacheLookup(t *testing.T) {
+	c := NewCanonCache(3)
+	code := uint32(1<<pairIdx[3][0][1] | 1<<pairIdx[3][0][2])
+	v1, hit := c.Lookup(code)
+	if hit {
+		t.Fatal("first lookup hit")
+	}
+	v2, hit := c.Lookup(code)
+	if !hit || v1 != v2 {
+		t.Fatalf("second lookup: hit=%v %#x vs %#x", hit, v2, v1)
+	}
+	if v1 != CanonicalCode(3, code) {
+		t.Fatal("cached value differs from direct computation")
+	}
+	if c.Size() != 1 {
+		t.Fatalf("cache size %d, want 1", c.Size())
+	}
+}
+
+// FuzzCanonicalForm checks the canonical-form invariant: relabeling a
+// subgraph's vertices by any permutation must not change its canonical code,
+// and the canonical code must itself be a member of the relabeling orbit.
+func FuzzCanonicalForm(f *testing.F) {
+	f.Add(uint8(3), uint16(0b101), uint16(1))
+	f.Add(uint8(4), uint16(0b111111), uint16(9))
+	f.Add(uint8(5), uint16(0b1010101010), uint16(1234))
+	f.Fuzz(func(t *testing.T, kRaw uint8, codeRaw uint16, permSeed uint16) {
+		k := MinK + int(kRaw)%(MaxK-MinK+1)
+		code := uint32(codeRaw) & (1<<uint(codeBits(k)) - 1)
+		canon := CanonicalCode(k, code)
+		rng := rand.New(rand.NewSource(int64(permSeed)))
+		perm := rng.Perm(k)
+		shuffled := relabel(k, code, perm)
+		if got := CanonicalCode(k, shuffled); got != canon {
+			t.Fatalf("k=%d code=%#x perm=%v: canonical %#x after relabel, %#x before",
+				k, code, perm, got, canon)
+		}
+		// Idempotence: the canonical form is its own canonical form.
+		if got := CanonicalCode(k, canon); got != canon {
+			t.Fatalf("k=%d: canonical %#x re-canonicalizes to %#x", k, canon, got)
+		}
+		// Edge count is an isomorphism invariant the canonical form must keep.
+		if len(CodeEdges(k, canon)) != len(CodeEdges(k, code)) {
+			t.Fatalf("k=%d: canonical form changed edge count", k)
+		}
+	})
+}

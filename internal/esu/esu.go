@@ -1,0 +1,345 @@
+// Package esu is the repo's second engine: a shared-memory motif census.
+// Where the PSgL engine (internal/core) lists every embedding of one given
+// pattern, this engine enumerates every connected k-vertex subgraph of the
+// data graph exactly once — Wernicke's ESU algorithm — and classifies each by
+// isomorphism class, producing the motif histogram ("how many triangles, how
+// many 4-paths, ...") that graphlet and network-motif analyses consume.
+//
+// Parallelization follows the shared-memory subgraph-enumeration literature
+// (arXiv:1705.09358): ESU's per-root subtrees are independent, so root
+// vertices are dealt to a worker pool in chunks claimed off one atomic
+// counter (work-stealing-friendly: a worker that drew cheap roots just
+// claims the next chunk), and all workers share the BitGraph adjacency and a
+// canonical-form memo cache. Each worker keeps its own scratch (subgraph
+// slot array, per-depth extension/neighborhood bitsets, a local histogram),
+// so the steady-state enumeration path allocates nothing and the only shared
+// writes are the memo cache's first-sight inserts.
+package esu
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/graph"
+	"psgl/internal/obs"
+)
+
+// Options tunes a census run. The zero value is ready to use.
+type Options struct {
+	// Workers is the worker-pool size; 0 means 4 (the PSgL engine's default).
+	Workers int
+	// ChunkSize is the number of root vertices a worker claims at once;
+	// 0 picks one that yields ~32 claims per worker so stragglers rebalance.
+	ChunkSize int
+	// Cache is the canonical-form memo cache to use (shared across runs by a
+	// resident server). nil builds a fresh cache for this run. Its K() must
+	// equal the census k.
+	Cache *CanonCache
+	// Observer receives end-of-run census counters (subgraphs, cache
+	// hits/misses). nil disables observability.
+	Observer *obs.Observer
+}
+
+// MotifCount is one isomorphism class of the census histogram.
+type MotifCount struct {
+	// Code is the class's canonical adjacency code (upper-triangle bits).
+	Code uint32 `json:"code"`
+	// Motif is Code rendered in the pattern DSL's edges(...) form.
+	Motif string `json:"motif"`
+	// Count is the number of connected induced k-subgraphs in the class.
+	Count int64 `json:"count"`
+}
+
+// Result is the outcome of a census run.
+type Result struct {
+	// K is the subgraph size counted.
+	K int `json:"k"`
+	// Subgraphs is the total number of connected k-subgraphs enumerated
+	// (each exactly once; the sum of every class count).
+	Subgraphs int64 `json:"subgraphs"`
+	// Classes is the motif histogram, largest class first (ties by code).
+	Classes []MotifCount `json:"classes"`
+	// CacheHits and CacheMisses count canonical-form memo cache lookups
+	// across all workers. On a fresh cache, misses is exactly the number of
+	// distinct raw adjacency codes seen.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Workers is the pool size used.
+	Workers int `json:"workers"`
+	// Wall is the enumeration wall time (excluding BitGraph construction
+	// when the caller prebuilt one).
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// CacheHitRate returns the memo cache hit fraction, 0 when nothing was
+// enumerated.
+func (r *Result) CacheHitRate() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
+}
+
+// Histogram returns the census as a canonical-code → count map.
+func (r *Result) Histogram() map[uint32]int64 {
+	h := make(map[uint32]int64, len(r.Classes))
+	for _, c := range r.Classes {
+		h[c.Code] = c.Count
+	}
+	return h
+}
+
+// Count runs a k-motif census of g with background context.
+func Count(g *graph.Graph, k int, opts Options) (*Result, error) {
+	return CountContext(context.Background(), g, k, opts)
+}
+
+// CountContext runs a k-motif census of g, honoring ctx cancellation between
+// root subtrees.
+func CountContext(ctx context.Context, g *graph.Graph, k int, opts Options) (*Result, error) {
+	if k < MinK || k > MaxK {
+		return nil, fmt.Errorf("esu: census size k=%d out of range [%d,%d]", k, MinK, MaxK)
+	}
+	b, err := NewBitGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return CountBitGraph(ctx, b, k, opts)
+}
+
+// CountBitGraph runs a k-motif census over a prebuilt BitGraph — the entry
+// point for resident servers that amortize the dense adjacency across
+// queries.
+func CountBitGraph(ctx context.Context, b *BitGraph, k int, opts Options) (*Result, error) {
+	if k < MinK || k > MaxK {
+		return nil, fmt.Errorf("esu: census size k=%d out of range [%d,%d]", k, MinK, MaxK)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCanonCache(k)
+	} else if cache.K() != k {
+		return nil, fmt.Errorf("esu: memo cache is for k=%d, census wants k=%d", cache.K(), k)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	n := b.N()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		// ~32 claims per worker keeps the claim counter cold while letting a
+		// worker stuck on a hub's deep subtree shed the rest of the range.
+		chunk = n / (workers * 32)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	start := time.Now()
+	var next atomic.Int64 // next unclaimed root; workers claim [lo, lo+chunk)
+	ws := make([]*walker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		w := newWalker(b, k, cache)
+		ws[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					if ctx.Err() != nil {
+						return
+					}
+					w.root(graph.VertexID(v))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{K: k, Workers: workers}
+	merged := make(map[uint32]int64)
+	for _, w := range ws {
+		res.Subgraphs += w.total
+		res.CacheHits += w.hits
+		res.CacheMisses += w.misses
+		for code, cnt := range w.counts {
+			merged[code] += cnt
+		}
+	}
+	res.Classes = make([]MotifCount, 0, len(merged))
+	for code, cnt := range merged {
+		res.Classes = append(res.Classes, MotifCount{Code: code, Motif: MotifDSL(k, code), Count: cnt})
+	}
+	sort.Slice(res.Classes, func(i, j int) bool {
+		if res.Classes[i].Count != res.Classes[j].Count {
+			return res.Classes[i].Count > res.Classes[j].Count
+		}
+		return res.Classes[i].Code < res.Classes[j].Code
+	})
+	res.Wall = time.Since(start)
+	opts.Observer.AddCensus(res.Subgraphs, res.CacheHits, res.CacheMisses)
+	return res, nil
+}
+
+// walker is one worker's enumeration state. All slices are preallocated at
+// construction; the enumeration itself allocates nothing (pinned by
+// TestCensusSteadyStateAllocs).
+type walker struct {
+	b     *BitGraph
+	k     int
+	cache *CanonCache
+
+	sub [MaxK]graph.VertexID // the subgraph under construction
+	// ext[d] / nbhd[d] are the extension set and closed neighborhood
+	// (V_sub ∪ N(V_sub)) after the (d+1)-th vertex was placed; gt masks
+	// vertices greater than the current root.
+	ext  [][]uint64
+	nbhd [][]uint64
+	gt   []uint64
+
+	counts              map[uint32]int64
+	total, hits, misses int64
+}
+
+func newWalker(b *BitGraph, k int, cache *CanonCache) *walker {
+	w := &walker{
+		b:      b,
+		k:      k,
+		cache:  cache,
+		ext:    make([][]uint64, k),
+		nbhd:   make([][]uint64, k),
+		gt:     make([]uint64, b.Words()),
+		counts: make(map[uint32]int64, 32),
+	}
+	for d := 0; d < k; d++ {
+		w.ext[d] = make([]uint64, b.Words())
+		w.nbhd[d] = make([]uint64, b.Words())
+	}
+	return w
+}
+
+// root enumerates every connected k-subgraph whose minimum vertex is v —
+// ESU's root rule: only vertices greater than v may ever join, so each
+// subgraph is generated exactly once, from its minimum vertex.
+func (w *walker) root(v graph.VertexID) {
+	// gt = {u : u > v}.
+	vi := int(v)
+	word := vi / 64
+	for i := range w.gt {
+		switch {
+		case i < word:
+			w.gt[i] = 0
+		case i == word:
+			w.gt[i] = ^uint64(0) << (uint(vi)%64 + 1)
+			if uint(vi)%64 == 63 {
+				w.gt[i] = 0
+			}
+		default:
+			w.gt[i] = ^uint64(0)
+		}
+	}
+	w.sub[0] = v
+	row := w.b.Row(v)
+	ext, nbhd := w.ext[0], w.nbhd[0]
+	any := false
+	for i, r := range row {
+		ext[i] = r & w.gt[i]
+		nbhd[i] = r
+		any = any || ext[i] != 0
+	}
+	nbhd[word] |= 1 << (uint(vi) % 64)
+	if any {
+		w.extend(1)
+	}
+}
+
+// extend places the vertex at slot d (|sub| == d on entry), drawing from
+// ext[d-1]. ESU: pop each candidate u in ascending order, removing it from
+// the extension set before recursing, and extend the child's set with u's
+// exclusive neighbors N(u) \ (V_sub ∪ N(V_sub)), root-filtered.
+func (w *walker) extend(d int) {
+	ext := w.ext[d-1]
+	if d == w.k-1 {
+		// Last slot: every remaining candidate completes one subgraph.
+		for i, word := range ext {
+			base := i * 64
+			for word != 0 {
+				w.sub[d] = graph.VertexID(base + bits.TrailingZeros64(word))
+				word &= word - 1
+				w.leaf()
+			}
+		}
+		return
+	}
+	nbhd := w.nbhd[d-1]
+	childExt, childNbhd := w.ext[d], w.nbhd[d]
+	for i := 0; i < len(ext); i++ {
+		word := ext[i]
+		if word == 0 {
+			continue
+		}
+		tz := bits.TrailingZeros64(word)
+		u := graph.VertexID(i*64 + tz)
+		ext[i] &^= 1 << uint(tz) // remove u: later siblings must not re-add it
+		w.sub[d] = u
+		rowU := w.b.Row(u)
+		nonEmpty := false
+		for j := range childExt {
+			excl := rowU[j] &^ nbhd[j] & w.gt[j]
+			childExt[j] = ext[j] | excl
+			childNbhd[j] = nbhd[j] | rowU[j]
+			nonEmpty = nonEmpty || childExt[j] != 0
+		}
+		childNbhd[int(u)/64] |= 1 << (uint(u) % 64)
+		if nonEmpty {
+			w.extend(d + 1)
+		}
+		i-- // re-scan this word: it may hold more candidates
+	}
+}
+
+// leaf classifies the completed subgraph in sub[0:k]: extract its induced
+// adjacency code (≤10 bit probes), canonicalize through the shared memo
+// cache, and bump the worker-local histogram.
+func (w *walker) leaf() {
+	k := w.k
+	var code uint32
+	bit := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if w.b.HasEdge(w.sub[i], w.sub[j]) {
+				code |= 1 << uint(bit)
+			}
+			bit++
+		}
+	}
+	canon, hit := w.cache.Lookup(code)
+	if hit {
+		w.hits++
+	} else {
+		w.misses++
+	}
+	w.counts[canon]++
+	w.total++
+}

@@ -1,0 +1,164 @@
+package esu
+
+import (
+	"context"
+	"testing"
+
+	"psgl/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	edges := make([][2]graph.VertexID, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(i + 1)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func cliqueGraph(n int) *graph.Graph {
+	var edges [][2]graph.VertexID
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(j)})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func starGraph(leaves int) *graph.Graph {
+	var edges [][2]graph.VertexID
+	for i := 1; i <= leaves; i++ {
+		edges = append(edges, [2]graph.VertexID{0, graph.VertexID(i)})
+	}
+	return graph.FromEdges(leaves+1, edges)
+}
+
+func TestCensusKnownCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		k       int
+		total   int64
+		classes int
+	}{
+		{"triangle-k3", cliqueGraph(3), 3, 1, 1},
+		{"path5-k3", lineGraph(5), 3, 3, 1}, // three consecutive triples
+		{"path5-k4", lineGraph(5), 4, 2, 1}, // two consecutive quadruples
+		{"path5-k5", lineGraph(5), 5, 1, 1}, // the whole path
+		{"k5-k3", cliqueGraph(5), 3, 10, 1}, // C(5,3) triangles
+		{"k5-k4", cliqueGraph(5), 4, 5, 1},  // C(5,4) K4s
+		{"k5-k5", cliqueGraph(5), 5, 1, 1},  // K5 itself
+		{"star4-k3", starGraph(4), 3, 6, 1}, // C(4,2) 2-paths through the hub
+		{"star4-k4", starGraph(4), 4, 4, 1}, // C(4,3) 3-stars
+		{"path5-k2", lineGraph(5), 2, 4, 1}, // k=2 census = edge count
+		{"two-classes", graph.FromEdges(4, [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}, {2, 3}}), 3, 2, 2}, // one triangle + paw's two induced 2-paths... see below
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Count(tc.g, tc.k, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.name == "two-classes" {
+				// Paw graph {01,12,02,23}: triangles {0,1,2}; induced 2-paths
+				// {0,2,3}, {1,2,3} — 3 subgraphs in 2 classes.
+				if res.Subgraphs != 3 || len(res.Classes) != 2 {
+					t.Fatalf("paw census: got %d subgraphs in %d classes, want 3 in 2: %+v",
+						res.Subgraphs, len(res.Classes), res.Classes)
+				}
+				return
+			}
+			if res.Subgraphs != tc.total {
+				t.Fatalf("got %d subgraphs, want %d (%+v)", res.Subgraphs, tc.total, res.Classes)
+			}
+			if len(res.Classes) != tc.classes {
+				t.Fatalf("got %d classes, want %d (%+v)", len(res.Classes), tc.classes, res.Classes)
+			}
+			var sum int64
+			for _, c := range res.Classes {
+				sum += c.Count
+			}
+			if sum != res.Subgraphs {
+				t.Fatalf("class sum %d != total %d", sum, res.Subgraphs)
+			}
+		})
+	}
+}
+
+func TestCensusWorkerCountInvariance(t *testing.T) {
+	g := testChungLu(t, 500, 1500, 2.0, 42)
+	for _, k := range []int{3, 4} {
+		base, err := Count(g, k, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			res, err := Count(g, k, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Subgraphs != base.Subgraphs {
+				t.Fatalf("k=%d workers=%d: %d subgraphs, serial found %d",
+					k, workers, res.Subgraphs, base.Subgraphs)
+			}
+			bh, rh := base.Histogram(), res.Histogram()
+			if len(bh) != len(rh) {
+				t.Fatalf("k=%d workers=%d: %d classes vs serial %d", k, workers, len(rh), len(bh))
+			}
+			for code, cnt := range bh {
+				if rh[code] != cnt {
+					t.Fatalf("k=%d workers=%d: class %#x count %d, serial %d",
+						k, workers, code, rh[code], cnt)
+				}
+			}
+		}
+	}
+}
+
+func TestCensusSharedCacheAcrossRuns(t *testing.T) {
+	g := testChungLu(t, 300, 900, 2.0, 7)
+	cache := NewCanonCache(4)
+	first, err := Count(g, 4, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses == 0 {
+		t.Fatal("fresh cache saw no misses")
+	}
+	if first.CacheMisses != int64(cache.Size()) {
+		t.Fatalf("misses %d != cache size %d (each distinct code must miss exactly once)",
+			first.CacheMisses, cache.Size())
+	}
+	second, err := Count(g, 4, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 {
+		t.Fatalf("warm cache missed %d times", second.CacheMisses)
+	}
+	if second.CacheHitRate() != 1.0 {
+		t.Fatalf("warm hit rate %f, want 1.0", second.CacheHitRate())
+	}
+	if _, err := Count(g, 3, Options{Cache: cache}); err == nil {
+		t.Fatal("k=3 census accepted a k=4 cache")
+	}
+}
+
+func TestCensusCancellation(t *testing.T) {
+	g := testChungLu(t, 2000, 12000, 1.8, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountContext(ctx, g, 4, Options{Workers: 2}); err == nil {
+		t.Fatal("canceled census returned no error")
+	}
+}
+
+func TestCensusValidation(t *testing.T) {
+	g := lineGraph(4)
+	if _, err := Count(g, 1, Options{}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Count(g, 6, Options{}); err == nil {
+		t.Fatal("k=6 accepted")
+	}
+}

@@ -522,6 +522,7 @@ func ByName(name string) (func() string, error) {
 		"hotpath":   Hotpath,
 		"serve":     Serve,
 		"chaos":     Chaos,
+		"census":    Census,
 		"all":       All,
 	}
 	fn, ok := m[name]

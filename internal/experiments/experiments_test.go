@@ -10,7 +10,7 @@ import (
 // plain `go test ./...` still validates this package.
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "chaos", "all"} {
+	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "chaos", "census", "all"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}

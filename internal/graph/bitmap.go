@@ -1,5 +1,66 @@
 package graph
 
+import "math/bits"
+
+// Word-bitset helpers shared by the BitmapIndex hub rows and the ESU motif
+// engine's BitGraph (internal/esu): sets are []uint64 slices where bit i of
+// word i/64 marks vertex i. All helpers tolerate length mismatches by
+// treating the shorter operand as zero-padded, so callers can intersect a
+// full row against a partially built set.
+
+// PopCount returns the number of set bits in ws — the popcount-based degree
+// of a bitset adjacency row.
+func PopCount(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns |a ∩ b| without materializing the intersection — the
+// candidate-count probe of the bitset expansion fast path.
+func AndCount(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// AndNotCount returns |a \ b| — the size of a's exclusive part, e.g. the
+// exclusive-neighborhood cardinality N(w) \ N(sub) the ESU extension rule
+// needs.
+func AndNotCount(a, b []uint64) int {
+	n := 0
+	for i, w := range a {
+		if i < len(b) {
+			w &^= b[i]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IterateSet calls fn for every set bit of ws in ascending order, stopping
+// early when fn returns false. The per-word trailing-zeros loop touches only
+// set bits, so sparse rows iterate in O(popcount) after the word scan.
+func IterateSet(ws []uint64, fn func(v VertexID) bool) {
+	for i, w := range ws {
+		base := VertexID(i * 64)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + VertexID(b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // BitmapIndex accelerates edge-existence checks against high-degree
 // vertices: Section 5.1.1 of the paper notes that the GRAY-verification cost
 // (costg) "can be done efficiently by a bitmap index". Each vertex whose
@@ -55,6 +116,15 @@ func (ix *BitmapIndex) HasEdge(u, v VertexID) bool {
 	}
 	return ix.g.HasEdge(u, v)
 }
+
+// Row returns v's bitset adjacency row, or nil when v's degree is below the
+// index threshold — the gate of the engine's bitset-AND candidate fast path
+// (a nil row means "not a hub: take the merge path"). The returned slice is
+// the index's internal storage and must not be modified.
+func (ix *BitmapIndex) Row(v VertexID) []uint64 { return ix.bits[v] }
+
+// MinDegree returns the hub threshold the index was built with.
+func (ix *BitmapIndex) MinDegree() int { return ix.minDeg }
 
 // IndexedVertices returns how many vertices carry a bitset.
 func (ix *BitmapIndex) IndexedVertices() int { return len(ix.bits) }

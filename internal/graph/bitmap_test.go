@@ -73,6 +73,121 @@ func TestBitmapIndexNoHubs(t *testing.T) {
 	}
 }
 
+// setOf builds a bitset with the given bits over `words` words (0 = sized to
+// the highest bit).
+func setOf(words int, vs ...int) []uint64 {
+	for _, v := range vs {
+		if v/64+1 > words {
+			words = v/64 + 1
+		}
+	}
+	ws := make([]uint64, words)
+	for _, v := range vs {
+		ws[v/64] |= 1 << (uint(v) % 64)
+	}
+	return ws
+}
+
+func TestBitsetHelpersTableDriven(t *testing.T) {
+	// A >64-word pair: 100 words = 6400 vertices, bits straddling word
+	// boundaries and the far tail.
+	bigA := setOf(100, 0, 63, 64, 65, 127, 128, 4000, 6399)
+	bigB := setOf(100, 63, 65, 128, 4000, 6398)
+	cases := []struct {
+		name        string
+		a, b        []uint64
+		popA        int
+		and, andNot int
+		iterated    []VertexID // expected IterateSet(a)
+	}{
+		{"both-empty", nil, nil, 0, 0, 0, nil},
+		{"empty-a", nil, setOf(1, 3), 0, 0, 0, nil},
+		{"empty-b", setOf(1, 3, 5), nil, 2, 0, 2, []VertexID{3, 5}},
+		{"zero-words", setOf(2), setOf(2), 0, 0, 0, nil},
+		{"single-word", setOf(1, 0, 1, 63), setOf(1, 1, 2, 63), 3, 2, 1, []VertexID{0, 1, 63}},
+		{"word-boundary", setOf(2, 63, 64), setOf(2, 64, 65), 2, 1, 1, []VertexID{63, 64}},
+		{"length-mismatch", setOf(1, 5), setOf(4, 5, 200), 1, 1, 0, []VertexID{5}},
+		{"length-mismatch-rev", setOf(4, 5, 200), setOf(1, 5), 2, 1, 1, []VertexID{5, 200}},
+		{"big", bigA, bigB, 8, 4, 4,
+			[]VertexID{0, 63, 64, 65, 127, 128, 4000, 6399}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PopCount(tc.a); got != tc.popA {
+				t.Errorf("PopCount(a) = %d, want %d", got, tc.popA)
+			}
+			if got := AndCount(tc.a, tc.b); got != tc.and {
+				t.Errorf("AndCount = %d, want %d", got, tc.and)
+			}
+			if got := AndCount(tc.b, tc.a); got != tc.and {
+				t.Errorf("AndCount reversed = %d, want %d (must be symmetric)", got, tc.and)
+			}
+			if got := AndNotCount(tc.a, tc.b); got != tc.andNot {
+				t.Errorf("AndNotCount = %d, want %d", got, tc.andNot)
+			}
+			var iter []VertexID
+			IterateSet(tc.a, func(v VertexID) bool {
+				iter = append(iter, v)
+				return true
+			})
+			if len(iter) != len(tc.iterated) {
+				t.Fatalf("IterateSet visited %v, want %v", iter, tc.iterated)
+			}
+			for i := range iter {
+				if iter[i] != tc.iterated[i] {
+					t.Fatalf("IterateSet visited %v, want %v", iter, tc.iterated)
+				}
+			}
+		})
+	}
+}
+
+func TestIterateSetEarlyStop(t *testing.T) {
+	ws := setOf(3, 1, 70, 140)
+	var seen []VertexID
+	IterateSet(ws, func(v VertexID) bool {
+		seen = append(seen, v)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 70 {
+		t.Fatalf("early stop visited %v, want [1 70]", seen)
+	}
+}
+
+func TestBitsetHelpersAgreeWithGraph(t *testing.T) {
+	// On a real skewed graph the hub rows' popcount must equal the CSR degree
+	// and AndCount must equal the merge-intersection size.
+	g := skewedTestGraph(2000, 11)
+	ix := NewBitmapIndex(g, 50)
+	if ix.IndexedVertices() < 2 {
+		t.Fatal("need at least two hubs")
+	}
+	var hubs []VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if ix.Row(VertexID(v)) != nil {
+			hubs = append(hubs, VertexID(v))
+		}
+	}
+	for _, h := range hubs {
+		if got := PopCount(ix.Row(h)); got != g.Degree(h) {
+			t.Fatalf("hub %d: PopCount %d != degree %d", h, got, g.Degree(h))
+		}
+	}
+	a, b := hubs[0], hubs[1]
+	want := 0
+	for _, u := range g.Neighbors(a) {
+		if g.HasEdge(b, u) {
+			want++
+		}
+	}
+	if got := AndCount(ix.Row(a), ix.Row(b)); got != want {
+		t.Fatalf("AndCount(%d,%d) = %d, want merge intersection %d", a, b, got, want)
+	}
+	if got := AndNotCount(ix.Row(a), ix.Row(b)); got != g.Degree(a)-want {
+		t.Fatalf("AndNotCount = %d, want %d", got, g.Degree(a)-want)
+	}
+}
+
 func BenchmarkHasEdgeHubCSR(b *testing.B) {
 	g := skewedTestGraph(20000, 7)
 	b.ResetTimer()

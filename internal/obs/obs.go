@@ -242,6 +242,12 @@ type Observer struct {
 	queryRetries    atomic.Int64
 	hedgedQueries   atomic.Int64
 
+	// Census-engine counters (fed by internal/esu at end of run: workers
+	// accumulate locally and flush once, so nothing here is per-subgraph).
+	censusSubgraphs atomic.Int64
+	canonHits       atomic.Int64
+	canonMisses     atomic.Int64
+
 	mu    sync.Mutex
 	steps []StepMetrics
 	// Logical end-of-run state, mirrored from the engine at RunEnded (these
@@ -537,6 +543,18 @@ func (o *Observer) AddHedgedQuery() {
 		return
 	}
 	o.hedgedQueries.Add(1)
+}
+
+// AddCensus records one completed motif census: subgraphs enumerated and the
+// canonical-form memo cache's hit/miss totals. Called once per run with the
+// workers' summed local counters — never from the enumeration hot path.
+func (o *Observer) AddCensus(subgraphs, canonHits, canonMisses int64) {
+	if o == nil {
+		return
+	}
+	o.censusSubgraphs.Add(subgraphs)
+	o.canonHits.Add(canonHits)
+	o.canonMisses.Add(canonMisses)
 }
 
 // Steps returns the physical superstep log (replays appear once per

@@ -42,6 +42,11 @@ type Snapshot struct {
 	QueryRetries    int64 `json:"query_retries"`
 	HedgedQueries   int64 `json:"hedged_queries"`
 
+	// Census-engine counters (monotonic; fed once per census run).
+	CensusSubgraphs int64 `json:"census_subgraphs"`
+	CanonHits       int64 `json:"canon_hits"`
+	CanonMisses     int64 `json:"canon_misses"`
+
 	// Logical end-of-run state (exactly-once; zero until RunEnded).
 	Ended          bool             `json:"ended"`
 	Supersteps     int              `json:"supersteps"`
@@ -84,6 +89,9 @@ func (o *Observer) Snapshot() Snapshot {
 		Evictions:          o.evictions.Load(),
 		QueryRetries:       o.queryRetries.Load(),
 		HedgedQueries:      o.hedgedQueries.Load(),
+		CensusSubgraphs:    o.censusSubgraphs.Load(),
+		CanonHits:          o.canonHits.Load(),
+		CanonMisses:        o.canonMisses.Load(),
 	}
 	o.mu.Lock()
 	s.Ended = o.ended
@@ -150,6 +158,15 @@ func (o *Observer) WriteReport(w io.Writer) {
 	if s.HeartbeatMisses+s.Evictions+s.QueryRetries+s.HedgedQueries > 0 {
 		fmt.Fprintf(w, "worker plane: %d heartbeat misses, %d evictions, %d query retries, %d hedged dispatches\n",
 			s.HeartbeatMisses, s.Evictions, s.QueryRetries, s.HedgedQueries)
+	}
+	if s.CensusSubgraphs+s.CanonHits+s.CanonMisses > 0 {
+		lookups := s.CanonHits + s.CanonMisses
+		rate := 0.0
+		if lookups > 0 {
+			rate = float64(s.CanonHits) / float64(lookups)
+		}
+		fmt.Fprintf(w, "census: %d subgraphs, canon cache %d/%d hits (%.4f hit rate)\n",
+			s.CensusSubgraphs, s.CanonHits, lookups, rate)
 	}
 
 	if len(s.Counters) > 0 {

@@ -8,11 +8,17 @@ package pattern
 //
 // Grammar (case-insensitive, whitespace ignored):
 //
+//	query    := pattern | census
 //	pattern  := name | generator | explicit
 //	name     := "pg1".."pg5" | "triangle" | "square" | "diamond" | "house"
 //	generator:= ("cycle"|"clique"|"path"|"star") "(" int ")"
 //	explicit := "edges" "(" edge ("," edge)* ")"
 //	edge     := int "-" int
+//	census   := "census" "(" int ")"
+//
+// census(k) is not a pattern: it selects the ESU motif-census engine (count
+// every connected k-vertex subgraph shape) instead of listing one pattern.
+// Callers that accept both forms try ParseCensus first, then Parse.
 //
 // Explicit patterns number vertices 0..n-1 with n inferred as the largest
 // endpoint plus one. All patterns must be connected, simple (no self-loops),
@@ -39,6 +45,37 @@ const (
 	// BreakAutomorphisms on an attacker-supplied pattern.
 	maxAutomorphismGuard = 100_000
 )
+
+const (
+	// MinCensusK and MaxCensusK bound the census(k) verb. They mirror
+	// esu.MinK/esu.MaxK (asserted equal by the esu tests); the DSL keeps its
+	// own copy so the parser does not depend on the engine package.
+	MinCensusK = 2
+	MaxCensusK = 5
+)
+
+// ParseCensus recognizes the census verb: "census(k)". ok reports whether s
+// is a census expression at all — when false, callers should Parse s as a
+// pattern; when true, err still flags a malformed or out-of-range k.
+func ParseCensus(s string) (k int, ok bool, err error) {
+	src := strings.ToLower(strings.Join(strings.Fields(s), ""))
+	body, found := strings.CutPrefix(src, "census(")
+	if !found {
+		return 0, false, nil
+	}
+	body, found = strings.CutSuffix(body, ")")
+	if !found {
+		return 0, true, fmt.Errorf("pattern: %q: missing closing parenthesis", s)
+	}
+	k, convErr := strconv.Atoi(body)
+	if convErr != nil {
+		return 0, true, fmt.Errorf("pattern: %q: census wants one integer argument", s)
+	}
+	if k < MinCensusK || k > MaxCensusK {
+		return 0, true, fmt.Errorf("pattern: census(%d) out of supported range [%d,%d]", k, MinCensusK, MaxCensusK)
+	}
+	return k, true, nil
+}
 
 // Parse parses the pattern DSL. Accepted spellings: the catalog names
 // (pg1..pg5, triangle, square, diamond, house, and legacy cycleN/cliqueN/

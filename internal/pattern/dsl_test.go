@@ -197,3 +197,32 @@ func TestAutomorphismsBounded(t *testing.T) {
 		t.Fatal("bound 100 not reported as exceeded for 120 automorphisms")
 	}
 }
+
+func TestParseCensus(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		k   int
+	}{
+		{"census(2)", 2},
+		{"census(3)", 3},
+		{"CENSUS( 5 )", 5},
+		{" census (4) ", 4},
+	} {
+		k, ok, err := ParseCensus(tc.src)
+		if !ok || err != nil || k != tc.k {
+			t.Fatalf("ParseCensus(%q) = (%d, %v, %v), want (%d, true, nil)", tc.src, k, ok, err, tc.k)
+		}
+	}
+	// Not census expressions at all: ok=false, no error, Parse handles them.
+	for _, src := range []string{"triangle", "cycle(4)", "edges(0-1)", ""} {
+		if _, ok, err := ParseCensus(src); ok || err != nil {
+			t.Fatalf("ParseCensus(%q) = (ok=%v, err=%v), want not-census", src, ok, err)
+		}
+	}
+	// Census expressions with bad arguments: ok=true plus an error.
+	for _, src := range []string{"census(1)", "census(6)", "census(x)", "census(3", "census()"} {
+		if _, ok, err := ParseCensus(src); !ok || err == nil {
+			t.Fatalf("ParseCensus(%q) = (ok=%v, err=%v), want census-but-invalid", src, ok, err)
+		}
+	}
+}

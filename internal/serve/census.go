@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/esu"
+	"psgl/internal/graph"
+	"psgl/internal/obs"
+)
+
+// The census(k) verb: where /query?pattern=<dsl> lists one pattern's
+// embeddings through the PSgL engine, /query?pattern=census(k) routes to the
+// ESU motif-census engine (internal/esu) and answers with the full k-motif
+// histogram. Census queries pass through the same admission control as
+// listing queries — a census is the heavier workload, so it must not bypass
+// the in-flight cap — and always run in-process (the census engine is
+// shared-memory; a worker plane does not distribute it).
+//
+// Three layers amortize repeat censuses on the resident graph:
+//   - the BitGraph dense adjacency is built once, on the first census query;
+//   - one canonical-form memo cache per k persists across queries, so a
+//     repeat census runs at a 100% canon-cache hit rate;
+//   - the Result itself is cached per k (the graph is immutable), so a
+//     repeat census(k) answers without enumerating at all.
+
+// censusState is the server's lazily built census machinery.
+type censusState struct {
+	mu      sync.Mutex
+	bg      *esu.BitGraph
+	bgErr   error // permanent (graph exceeds the BitGraph vertex cap)
+	bgBuilt bool
+	caches  map[int]*esu.CanonCache
+	results map[int]*esu.Result
+
+	// Cumulative counters for /stats.
+	queries     atomic.Int64
+	resultHits  atomic.Int64
+	canonHits   atomic.Int64
+	canonMisses atomic.Int64
+}
+
+// run executes (or answers from cache) a census of g at size k. cached
+// reports a result-cache hit. Concurrent first censuses of the same k may
+// both enumerate (results are identical; one store wins) — the result cache
+// is filled only by completed runs, so a canceled run never poisons it.
+func (cs *censusState) run(ctx context.Context, g *graph.Graph, k, workers int, observer *obs.Observer) (res *esu.Result, cached bool, err error) {
+	cs.queries.Add(1)
+	cs.mu.Lock()
+	if r, ok := cs.results[k]; ok {
+		cs.mu.Unlock()
+		cs.resultHits.Add(1)
+		return r, true, nil
+	}
+	if !cs.bgBuilt {
+		cs.bg, cs.bgErr = esu.NewBitGraph(g)
+		cs.bgBuilt = true
+	}
+	if cs.bgErr != nil {
+		cs.mu.Unlock()
+		return nil, false, cs.bgErr
+	}
+	if cs.caches == nil {
+		cs.caches = make(map[int]*esu.CanonCache)
+		cs.results = make(map[int]*esu.Result)
+	}
+	cache, ok := cs.caches[k]
+	if !ok {
+		cache = esu.NewCanonCache(k)
+		cs.caches[k] = cache
+	}
+	bg := cs.bg
+	cs.mu.Unlock()
+
+	res, err = esu.CountBitGraph(ctx, bg, k, esu.Options{
+		Workers:  workers,
+		Cache:    cache,
+		Observer: observer,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	cs.canonHits.Add(res.CacheHits)
+	cs.canonMisses.Add(res.CacheMisses)
+	cs.mu.Lock()
+	cs.results[k] = res
+	cs.mu.Unlock()
+	return res, false, nil
+}
+
+// CensusStats is the census section of /stats.
+type CensusStats struct {
+	// Queries counts census(k) queries admitted (result-cache hits included).
+	Queries int64 `json:"queries"`
+	// ResultCacheHits counts censuses answered from the per-k result cache
+	// without enumerating.
+	ResultCacheHits int64 `json:"result_cache_hits"`
+	// CanonHits/CanonMisses aggregate the canonical-form memo cache lookups
+	// across every census run on this server.
+	CanonHits    int64   `json:"canon_hits"`
+	CanonMisses  int64   `json:"canon_misses"`
+	CanonHitRate float64 `json:"canon_hit_rate"`
+	// BitGraphBytes is the dense adjacency footprint (0 until the first
+	// census query builds it).
+	BitGraphBytes int64 `json:"bitgraph_bytes"`
+}
+
+func (cs *censusState) stats() CensusStats {
+	st := CensusStats{
+		Queries:         cs.queries.Load(),
+		ResultCacheHits: cs.resultHits.Load(),
+		CanonHits:       cs.canonHits.Load(),
+		CanonMisses:     cs.canonMisses.Load(),
+	}
+	if total := st.CanonHits + st.CanonMisses; total > 0 {
+		st.CanonHitRate = float64(st.CanonHits) / float64(total)
+	}
+	cs.mu.Lock()
+	if cs.bg != nil {
+		st.BitGraphBytes = cs.bg.SizeBytes()
+	}
+	cs.mu.Unlock()
+	return st
+}
+
+// censusResponse is the /query?pattern=census(k) response body.
+type censusResponse struct {
+	TraceID   string            `json:"trace_id"`
+	K         int               `json:"k"`
+	Subgraphs int64             `json:"subgraphs"`
+	Classes   []esu.MotifCount  `json:"classes"`
+	Cache     censusCacheReport `json:"canon_cache"`
+	Cached    bool              `json:"cached,omitempty"`
+	WallMS    float64           `json:"wall_ms"`
+}
+
+type censusCacheReport struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// serveCensus answers a census(k) query. The caller already holds an
+// admission slot and the query deadline context.
+func (s *Server) serveCensus(ctx context.Context, w http.ResponseWriter, k int, params queryParams, observer *obs.Observer, traceID string, start time.Time) {
+	res, cached, err := s.census.run(ctx, s.g, k, params.workers, observer)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.deadlineExceeded.Add(1)
+			jsonError(w, http.StatusGatewayTimeout, "census canceled: %v", ctx.Err())
+			return
+		}
+		if errors.Is(err, esu.ErrGraphTooLarge) {
+			// The graph permanently exceeds the dense-adjacency cap: the
+			// client asked for something this server cannot ever do.
+			s.failed.Add(1)
+			jsonError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.failed.Add(1)
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.completed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(censusResponse{
+		TraceID:   traceID,
+		K:         res.K,
+		Subgraphs: res.Subgraphs,
+		Classes:   res.Classes,
+		Cache: censusCacheReport{
+			Hits:    res.CacheHits,
+			Misses:  res.CacheMisses,
+			HitRate: res.CacheHitRate(),
+		},
+		Cached: cached,
+		WallMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

@@ -132,6 +132,10 @@ type Server struct {
 	qid     atomic.Int64
 	lastObs atomic.Pointer[obs.Observer]
 
+	// census holds the lazily built motif-census machinery (BitGraph,
+	// per-k canonical caches, per-k result cache) behind census(k) queries.
+	census censusState
+
 	// plane is non-nil when this server coordinates a remote worker tier;
 	// planeObs is its long-lived observer (heartbeat misses, evictions).
 	plane    *plane
@@ -322,12 +326,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	p, err := pattern.Parse(params.patternSrc)
+	censusK, isCensus, err := pattern.ParseCensus(params.patternSrc)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	plan := s.plans.get(p)
+	var plan *Plan
+	if !isCensus {
+		p, err := pattern.Parse(params.patternSrc)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		plan = s.plans.get(p)
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), params.deadline)
 	defer cancel()
@@ -356,6 +368,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	observer := obs.New(s.cfg.TraceSink)
 	observer.SetTag(traceID)
 	s.lastObs.Store(observer)
+
+	if isCensus {
+		// The census engine is shared-memory: it always runs in-process, even
+		// when this server coordinates a worker plane, and it holds its
+		// admission slot like any other query.
+		s.serveCensus(ctx, w, censusK, params, observer, traceID, time.Now())
+		return
+	}
 
 	if s.plane != nil {
 		// Worker-plane mode: this server coordinates; the engine runs on a
@@ -552,6 +572,9 @@ type StatsResponse struct {
 		EmbeddingsSent   int64 `json:"embeddings_sent"`
 		Retries          int64 `json:"retries"`
 	} `json:"queries"`
+	// Census reports the motif-census verb's caches: queries served, per-k
+	// result-cache hits, and the canonical-form memo cache hit rate.
+	Census CensusStats `json:"census"`
 	// Plane is present only when the server coordinates a worker plane.
 	Plane    *PlaneStats `json:"worker_plane,omitempty"`
 	Draining bool        `json:"draining"`
@@ -574,6 +597,7 @@ func (s *Server) Stats() StatsResponse {
 	sr.Queries.Failed = s.failed.Load()
 	sr.Queries.EmbeddingsSent = s.embeddingsSent.Load()
 	sr.Queries.Retries = s.queryRetries.Load()
+	sr.Census = s.census.stats()
 	if s.plane != nil {
 		sr.Plane = s.plane.stats()
 	}

@@ -33,6 +33,7 @@ import (
 	"psgl/internal/bsp"
 	"psgl/internal/centralized"
 	"psgl/internal/core"
+	"psgl/internal/esu"
 	"psgl/internal/gen"
 	"psgl/internal/graph"
 	"psgl/internal/graphchi"
@@ -430,6 +431,10 @@ func EstimateTriangles(g *Graph, k int, seed int64) (float64, error) {
 // returning counts keyed by pattern name — the motif-profile workload the
 // paper's introduction motivates. Patterns are processed sequentially, each
 // with the full worker pool.
+//
+// For the complementary workload — count every connected k-vertex shape at
+// once, without naming the patterns up front — use Census, which runs the
+// dedicated ESU engine instead of one PSgL listing per pattern.
 func MotifCensus(g *Graph, patterns []*Pattern, opts Options) (map[string]int64, error) {
 	out := make(map[string]int64, len(patterns))
 	for _, p := range patterns {
@@ -440,6 +445,86 @@ func MotifCensus(g *Graph, patterns []*Pattern, opts Options) (map[string]int64,
 		out[p.Name()] = n
 	}
 	return out, nil
+}
+
+// Motif census engine (internal/esu): where List answers "list all embeddings
+// of this one pattern", Census answers "count every connected k-vertex
+// subgraph shape" — Wernicke's ESU algorithm parallelized per root vertex
+// over a bitset adjacency, with a sharded canonical-form memo cache shared
+// across workers. The same engine backs the query service's census(k) verb.
+type (
+	// CensusOptions tunes a census run; the zero value is ready to use.
+	CensusOptions = esu.Options
+	// CensusResult is a census outcome: total subgraphs, the motif histogram,
+	// memo-cache hit counts, and wall time.
+	CensusResult = esu.Result
+	// MotifClass is one isomorphism class of the census histogram.
+	MotifClass = esu.MotifCount
+	// CensusCanonCache is the sharded canonical-form memo cache; build one
+	// with NewCensusCanonCache and pass it via CensusOptions.Cache to warm
+	// repeat censuses of the same k.
+	CensusCanonCache = esu.CanonCache
+)
+
+// MinCensusK and MaxCensusK bound the census subgraph size k.
+const (
+	MinCensusK = esu.MinK
+	MaxCensusK = esu.MaxK
+)
+
+// ErrGraphTooLarge reports a graph exceeding the census engine's dense
+// bitset-adjacency vertex cap (the CSR listing engine has no such cap);
+// distinguishable with errors.Is.
+var ErrGraphTooLarge = esu.ErrGraphTooLarge
+
+// Census counts every connected induced k-vertex subgraph of g, classified
+// into isomorphism classes — the motif histogram.
+func Census(g *Graph, k int, opts CensusOptions) (*CensusResult, error) {
+	return esu.Count(g, k, opts)
+}
+
+// CensusContext is Census with cancellation: the enumeration stops at the
+// next root-vertex boundary once ctx is done.
+func CensusContext(ctx context.Context, g *Graph, k int, opts CensusOptions) (*CensusResult, error) {
+	return esu.CountContext(ctx, g, k, opts)
+}
+
+// NewCensusCanonCache builds an empty canonical-form memo cache for size-k
+// censuses, shareable across concurrent runs.
+func NewCensusCanonCache(k int) *CensusCanonCache { return esu.NewCanonCache(k) }
+
+// ParseCensus recognizes the DSL's census verb, "census(k)". ok reports
+// whether src is a census expression at all — when false, parse src as a
+// pattern instead; when true, err still flags a malformed or out-of-range k.
+// CLIs that accept both query forms in one argument try this first.
+func ParseCensus(src string) (k int, ok bool, err error) { return pattern.ParseCensus(src) }
+
+// VerifyCensus cross-checks res against the naive centralized census oracle —
+// an independent enumerator and canonicalizer — and reports the first
+// discrepancy. The two engines may pick different canonical representatives
+// for a class, so comparison happens after mapping res's class codes through
+// the oracle's canonical form.
+func VerifyCensus(g *Graph, res *CensusResult) error {
+	wantHist, wantTotal := centralized.MotifCensus(g, res.K)
+	if res.Subgraphs != wantTotal {
+		return fmt.Errorf("psgl: census k=%d counted %d subgraphs, oracle counted %d",
+			res.K, res.Subgraphs, wantTotal)
+	}
+	got := make(map[uint32]int64, len(res.Classes))
+	for _, c := range res.Classes {
+		got[centralized.CanonicalSubgraphCode(res.K, c.Code)] += c.Count
+	}
+	if len(got) != len(wantHist) {
+		return fmt.Errorf("psgl: census k=%d found %d motif classes, oracle found %d",
+			res.K, len(got), len(wantHist))
+	}
+	for code, want := range wantHist {
+		if got[code] != want {
+			return fmt.Errorf("psgl: census k=%d class %#x counted %d, oracle counted %d",
+				res.K, code, got[code], want)
+		}
+	}
+	return nil
 }
 
 // AfratiOptions configures CountAfrati.

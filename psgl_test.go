@@ -241,6 +241,71 @@ func TestMotifCensusPublic(t *testing.T) {
 	}
 }
 
+func TestCensusPublic(t *testing.T) {
+	g := psgl.GenerateChungLu(400, 1200, 2.0, 13)
+	res, err := psgl.Census(g, 3, psgl.CensusOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraphs == 0 || len(res.Classes) == 0 {
+		t.Fatalf("empty census on a dense graph: %+v", res)
+	}
+	if err := psgl.VerifyCensus(g, res); err != nil {
+		t.Fatal(err)
+	}
+	// The triangle class of the k=3 census must agree with the listing
+	// engine's triangle count — the two engines meet on this number.
+	triangles, err := psgl.Count(g, psgl.Triangle(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var censusTriangles int64
+	for _, c := range res.Classes {
+		if c.Motif == "edges(0-1,0-2,1-2)" {
+			censusTriangles = c.Count
+		}
+	}
+	if censusTriangles != triangles {
+		t.Fatalf("census counted %d triangles, listing engine %d", censusTriangles, triangles)
+	}
+
+	// A shared canon cache turns a repeat census all-hits.
+	cache := psgl.NewCensusCanonCache(3)
+	if _, err := psgl.Census(g, 3, psgl.CensusOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := psgl.Census(g, 3, psgl.CensusOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheMisses != 0 {
+		t.Fatalf("warm census still missed the canon cache %d times", warm.CacheMisses)
+	}
+
+	// Cancellation and the vertex cap surface as public errors.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := psgl.CensusContext(ctx, g, 3, psgl.CensusOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled census returned %v", err)
+	}
+}
+
+func TestParseCensusPublic(t *testing.T) {
+	k, ok, err := psgl.ParseCensus("census(4)")
+	if err != nil || !ok || k != 4 {
+		t.Fatalf("ParseCensus(census(4)) = %d, %v, %v", k, ok, err)
+	}
+	if _, ok, _ := psgl.ParseCensus("triangle"); ok {
+		t.Fatal("plain pattern misread as a census query")
+	}
+	if _, ok, err := psgl.ParseCensus("census(99)"); !ok || err == nil {
+		t.Fatal("out-of-range census k accepted")
+	}
+	if psgl.MinCensusK != 2 || psgl.MaxCensusK != 5 {
+		t.Fatalf("census k range [%d,%d]", psgl.MinCensusK, psgl.MaxCensusK)
+	}
+}
+
 func TestLabeledMatchingPublic(t *testing.T) {
 	g := psgl.GenerateErdosRenyi(120, 700, 10)
 	labels := make([]int32, g.NumVertices())

@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget      = fs.Int64("max-intermediate", 0, "abort after this many partial instances (0 = unlimited)")
 		maxSteps    = fs.Int("max-supersteps", 0, "abort after this many supersteps (0 = engine default)")
 		tcp         = fs.Bool("tcp", false, "route messages over loopback TCP")
+		async       = fs.Bool("async", false, "pipelined async exchange: flush frames as produced, credit-based termination instead of barriers (counts identical to strict mode)")
 		timeout     = fs.Duration("timeout", 0, "overall run timeout (0 = none); Ctrl-C also cancels cleanly")
 		stepTimeout = fs.Duration("step-timeout", 0, "per-superstep deadline (0 = none)")
 		retries     = fs.Int("exchange-retries", 1, "attempts per superstep exchange (bounded exponential backoff)")
@@ -164,6 +165,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.MaxSupersteps = *maxSteps
 	if *tcp {
 		opts.Exchange = psgl.NewTCPExchange()
+	}
+	opts.AsyncExchange = *async
+	if *async && *stepTimeout > 0 {
+		return usage("-step-timeout applies to barriered supersteps; async mode has none (use -timeout to bound the run)")
 	}
 	opts.StepTimeout = *stepTimeout
 	opts.Retry = psgl.RetryPolicy{MaxAttempts: *retries}

@@ -214,3 +214,32 @@ func TestExplainExitsCleanly(t *testing.T) {
 		t.Fatalf("explain output missing:\n%s", stdout)
 	}
 }
+
+// TestAsyncFlagMatchesStrict: -async produces the same count as the default
+// barriered run (verified against the oracle too), over both the in-process
+// and loopback-TCP transports; -step-timeout is rejected in async mode.
+func TestAsyncFlagMatchesStrict(t *testing.T) {
+	code, strictOut, stderr := runCLI(t,
+		"-gen", "er:150:600", "-pattern", "triangle", "-workers", "3")
+	if code != 0 {
+		t.Fatalf("strict run: exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, extra := range [][]string{{"-async"}, {"-async", "-tcp"}} {
+		args := append([]string{"-gen", "er:150:600", "-pattern", "triangle", "-workers", "3", "-verify"}, extra...)
+		code, asyncOut, stderr := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, stderr)
+		}
+		if asyncOut != strictOut {
+			t.Fatalf("%v: count %q, strict %q", extra, asyncOut, strictOut)
+		}
+	}
+	code, _, stderr = runCLI(t,
+		"-gen", "er:150:600", "-pattern", "triangle", "-async", "-step-timeout", "5s")
+	if code != 2 {
+		t.Fatalf("-async -step-timeout: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-step-timeout applies to barriered supersteps") {
+		t.Fatalf("stderr %q missing async step-timeout rejection", stderr)
+	}
+}

@@ -1,0 +1,422 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"psgl/internal/graph"
+	"psgl/internal/obs"
+)
+
+// --- credit/ack termination detector units ---
+
+func TestCreditDetectorIdleButCreditOutstanding(t *testing.T) {
+	// Every worker parked and idle, but a frame is still in flight: the run
+	// must NOT be declared finished — the frame will wake its destination.
+	det := newCreditDetector(3)
+	for w := 0; w < 3; w++ {
+		det.setIdle(w, true)
+	}
+	det.frameSent(1)
+	if det.quiescent() {
+		t.Fatal("quiescent with outstanding credit: the in-flight frame was forgotten")
+	}
+	det.enqueued(2)
+	det.frameAcked(1)
+	if det.quiescent() {
+		t.Fatal("quiescent while the delivered frame's destination is not idle")
+	}
+	det.setIdle(2, true)
+	if !det.quiescent() {
+		t.Fatal("not quiescent after the frame was delivered and its destination drained")
+	}
+}
+
+func TestCreditDetectorAckReordering(t *testing.T) {
+	// Acks arrive in a different order than the sends (the TCP reader
+	// goroutines have no cross-conn ordering). Per-sender credit balances
+	// must still converge to zero, and quiescence must wait for the last ack.
+	det := newCreditDetector(3)
+	det.frameSent(0)
+	det.frameSent(0)
+	det.frameSent(2)
+	for w := 0; w < 3; w++ {
+		det.setIdle(w, true)
+	}
+	// Worker 2's frame (sent last) is acked first.
+	det.enqueued(1)
+	det.frameAcked(2)
+	det.enqueued(1)
+	det.frameAcked(0)
+	det.setIdle(1, true)
+	if det.quiescent() {
+		t.Fatal("quiescent with one of worker 0's frames still outstanding")
+	}
+	det.enqueued(1)
+	det.frameAcked(0)
+	det.setIdle(1, true)
+	if !det.quiescent() {
+		t.Fatal("not quiescent after every ack arrived (reordered)")
+	}
+	if got := det.outstandingTotal(); got != 0 {
+		t.Fatalf("outstandingTotal = %d after balanced acks, want 0", got)
+	}
+}
+
+func TestCreditDetectorLateFrameAfterLocalQuiescence(t *testing.T) {
+	// The nasty interleaving: everything looks idle, the scan starts, and a
+	// frame lands mid-scan at a worker that processes it and re-idles before
+	// the idle check reaches it. Credit is balanced, every idle flag reads
+	// true — only the activity epoch betrays the late frame.
+	det := newCreditDetector(2)
+	det.setIdle(0, true)
+	det.setIdle(1, true)
+	injected := false
+	det.onScan = func() {
+		if !injected {
+			injected = true
+			det.enqueued(1)
+			det.setIdle(1, true) // processed so fast it's idle again already
+		}
+	}
+	if det.quiescent() {
+		t.Fatal("late frame slipped past the verdict: activity epoch not honored")
+	}
+	if !det.quiescent() {
+		t.Fatal("second scan (no new activity) should be quiescent")
+	}
+}
+
+// --- async plane vs strict mode ---
+
+func runEchoMode(t *testing.T, factory ExchangeFactory, async bool) *RunStats {
+	t.Helper()
+	prog, cfg := newEcho(100, 5, 3)
+	cfg.Exchange = factory
+	cfg.AsyncExchange = async
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestAsyncEchoMatchesStrict(t *testing.T) {
+	strict := runEchoMode(t, nil, false)
+	async := runEchoMode(t, nil, true)
+	if strict.Counters["delivered"] != async.Counters["delivered"] {
+		t.Fatalf("delivered differ: strict=%d async=%d",
+			strict.Counters["delivered"], async.Counters["delivered"])
+	}
+	if strict.MessagesTotal != async.MessagesTotal {
+		t.Fatalf("message totals differ: strict=%d async=%d",
+			strict.MessagesTotal, async.MessagesTotal)
+	}
+	if len(async.PerStepWorkerTime) != async.Supersteps {
+		t.Fatalf("async epoch rows %d != Supersteps %d",
+			len(async.PerStepWorkerTime), async.Supersteps)
+	}
+	var wm int64
+	for _, m := range async.WorkerMessages {
+		wm += m
+	}
+	if wm != async.MessagesTotal {
+		t.Fatalf("async worker message sum %d != total %d", wm, async.MessagesTotal)
+	}
+}
+
+func TestAsyncTCPEchoMatchesStrict(t *testing.T) {
+	strict := runEchoMode(t, nil, false)
+	async := runEchoMode(t, NewTCPExchangeFactory(), true)
+	if strict.Counters["delivered"] != async.Counters["delivered"] {
+		t.Fatalf("delivered differ: strict=%d asyncTCP=%d",
+			strict.Counters["delivered"], async.Counters["delivered"])
+	}
+	if strict.MessagesTotal != async.MessagesTotal {
+		t.Fatalf("message totals differ: strict=%d asyncTCP=%d",
+			strict.MessagesTotal, async.MessagesTotal)
+	}
+}
+
+func TestAsyncSmallFlushMatchesStrict(t *testing.T) {
+	// Aggressive pipelining (flush every message) must not change counts.
+	strict := runEchoMode(t, nil, false)
+	prog, cfg := newEcho(100, 5, 3)
+	cfg.AsyncExchange = true
+	cfg.AsyncFlushEvery = 1
+	async, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Counters["delivered"] != async.Counters["delivered"] {
+		t.Fatalf("delivered differ: strict=%d async(flush=1)=%d",
+			strict.Counters["delivered"], async.Counters["delivered"])
+	}
+}
+
+func TestAsyncEmptyProgramTerminates(t *testing.T) {
+	prog := &funcProgram[int]{
+		init:    func(*Context[int]) {},
+		process: func(*Context[int], Envelope[int]) {},
+	}
+	cfg := Config{Workers: 3, Owner: func(graph.VertexID) int { return 0 }, AsyncExchange: true}
+	stats, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesTotal != 0 {
+		t.Fatalf("empty async program: msgs=%d", stats.MessagesTotal)
+	}
+}
+
+func TestAsyncStructMessagesOverTCP(t *testing.T) {
+	// Gob-mode frames must survive the pipelined TCP path intact too.
+	var mu sync.Mutex
+	var received []structMsg
+	prog := &funcProgram[structMsg]{
+		init: func(ctx *Context[structMsg]) {
+			if ctx.Worker() == 0 {
+				ctx.Send(5, structMsg{Mapping: []int32{1, -1, 3}, Next: 2, Mask: 0xdead})
+			}
+		},
+		process: func(ctx *Context[structMsg], env Envelope[structMsg]) {
+			mu.Lock()
+			received = append(received, env.Msg)
+			mu.Unlock()
+		},
+	}
+	part := graph.NewPartition(2, 1)
+	cfg := Config{
+		Workers:       2,
+		Owner:         func(v graph.VertexID) int { return part.Owner(v) },
+		Exchange:      NewTCPExchangeFactory(),
+		AsyncExchange: true,
+	}
+	if _, err := Run[structMsg](cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 1 {
+		t.Fatalf("received %d messages, want 1", len(received))
+	}
+	got := received[0]
+	if got.Next != 2 || got.Mask != 0xdead || len(got.Mapping) != 3 || got.Mapping[2] != 3 {
+		t.Fatalf("struct mangled in async transit: %+v", got)
+	}
+}
+
+// --- abort, cancellation, runaway ---
+
+func TestAsyncAbortStopsRun(t *testing.T) {
+	boom := errors.New("boom")
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) { ctx.Send(0, 1) },
+		process: func(ctx *Context[int], env Envelope[int]) {
+			ctx.Abort(boom)
+			ctx.Send(0, 1) // keeps producing; abort must still win
+		},
+	}
+	cfg := Config{Workers: 2, Owner: func(graph.VertexID) int { return 0 }, AsyncExchange: true}
+	_, err := Run[int](cfg, prog)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+func TestAsyncCancellation(t *testing.T) {
+	// A self-perpetuating program: cancellation is the only way out.
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) { ctx.Send(0, 1) },
+		process: func(ctx *Context[int], env Envelope[int]) {
+			ctx.Send(0, 1)
+		},
+	}
+	cfg := Config{Workers: 2, Owner: func(graph.VertexID) int { return 0 }, AsyncExchange: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext[int](ctx, cfg, prog)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("async run did not stop after cancellation")
+	}
+}
+
+func TestAsyncRunawayFrameBound(t *testing.T) {
+	// MaxSupersteps has no superstep to count in async mode; it degrades to a
+	// per-worker flushed-frame bound that must still stop a ping-pong program.
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) { ctx.Send(0, 1) },
+		process: func(ctx *Context[int], env Envelope[int]) {
+			ctx.Send(0, 1)
+		},
+	}
+	cfg := Config{
+		Workers:         1,
+		Owner:           func(graph.VertexID) int { return 0 },
+		AsyncExchange:   true,
+		AsyncFlushEvery: 1,
+		MaxSupersteps:   1,
+	}
+	_, err := Run[int](cfg, prog)
+	if err == nil {
+		t.Fatal("runaway async program should hit the frame bound")
+	}
+	if !strings.Contains(err.Error(), "flushed frames") {
+		t.Fatalf("err = %v, want the flushed-frame bound", err)
+	}
+}
+
+// --- fault schedules, checkpoints, recovery ---
+
+func TestAsyncScheduledDelayIsHarmless(t *testing.T) {
+	strict := runEchoMode(t, nil, false)
+	factory := NewScheduledFaultExchangeFactory(NewTCPExchangeFactory(), []StepFault{
+		{Step: 2, Kind: StepFaultDelay, Delay: 5 * time.Millisecond},
+		{Step: 3, Kind: StepFaultDelay, Delay: 5 * time.Millisecond},
+	})
+	async := runEchoMode(t, factory, true)
+	if strict.Counters["delivered"] != async.Counters["delivered"] {
+		t.Fatalf("delivered differ under delay: strict=%d async=%d",
+			strict.Counters["delivered"], async.Counters["delivered"])
+	}
+}
+
+func TestAsyncRecoveryFromScheduledKill(t *testing.T) {
+	strict := runEchoMode(t, nil, false)
+	// Two kills at the same frame seq exhaust the 2-attempt retry budget and
+	// force a recovery (restore from a quiescence checkpoint, or restart from
+	// scratch when none was taken yet); the third kill is absorbed by a retry
+	// after recovery. Counts must come out exactly-once regardless.
+	factory := NewScheduledFaultExchangeFactory(nil, []StepFault{
+		{Step: 2, Kind: StepFaultKill, Worker: 1},
+		{Step: 2, Kind: StepFaultKill, Worker: 1},
+		{Step: 3, Kind: StepFaultDrop},
+	})
+	prog, cfg := newEcho(100, 5, 3)
+	cfg.Exchange = factory
+	cfg.AsyncExchange = true
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = NewMemCheckpointStore()
+	cfg.MaxRecoveries = 5
+	async, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factory.Fired() == 0 {
+		t.Fatal("schedule never fired; the test exercised nothing")
+	}
+	if strict.Counters["delivered"] != async.Counters["delivered"] {
+		t.Fatalf("delivered differ after recovery: strict=%d async=%d (recoveries=%d)",
+			strict.Counters["delivered"], async.Counters["delivered"], async.Recoveries)
+	}
+}
+
+func TestAsyncRecoveryExhaustionFails(t *testing.T) {
+	// With no recovery budget, an exhausted retry must fail the run with the
+	// injected fault in the chain — never silently drop the frame. Worker 0's
+	// very first flush is remote, so it deterministically carries seq 1.
+	factory := NewScheduledFaultExchangeFactory(nil, []StepFault{
+		{Step: 1, Kind: StepFaultKill, Worker: 0},
+	})
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) {
+			if ctx.Worker() == 0 {
+				for i := 0; i < 10; i++ {
+					ctx.Send(graph.VertexID(100+i), 1)
+				}
+			}
+		},
+		process: func(*Context[int], Envelope[int]) {},
+	}
+	cfg := Config{
+		Workers: 2,
+		Owner: func(v graph.VertexID) int {
+			if v < 100 {
+				return 0
+			}
+			return 1
+		},
+		Exchange:      factory,
+		AsyncExchange: true,
+	}
+	_, err := Run[int](cfg, prog)
+	if err == nil {
+		t.Fatal("lost frame with no recovery budget must fail the run")
+	}
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want ErrInjectedFault in the chain", err)
+	}
+}
+
+func TestAsyncCheckpointAndResume(t *testing.T) {
+	// A run checkpointed at quiescence points must be resumable by a fresh
+	// run, and the resumed stats must equal a clean run's (exactly-once).
+	strict := runEchoMode(t, nil, false)
+	store := NewMemCheckpointStore()
+	prog, cfg := newEcho(100, 5, 3)
+	cfg.AsyncExchange = true
+	cfg.AsyncFlushEvery = 8 // more frames, so quiescence checkpoints trigger
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointStore = store
+	first, err := Run[int](cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Counters["delivered"] != strict.Counters["delivered"] {
+		t.Fatalf("checkpointed async run drifted: %d vs %d",
+			first.Counters["delivered"], strict.Counters["delivered"])
+	}
+
+	prog2, cfg2 := newEcho(100, 5, 3)
+	cfg2.AsyncExchange = true
+	cfg2.ResumeFrom = store
+	resumed, err := Run[int](cfg2, prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final snapshot was taken at some quiescence point; resuming from it
+	// replays only the tail, and the restored stats keep the prefix, so the
+	// total must match a clean run exactly when the store holds a snapshot.
+	if resumed.Counters["delivered"] != strict.Counters["delivered"] {
+		t.Fatalf("resumed async run drifted: %d vs %d",
+			resumed.Counters["delivered"], strict.Counters["delivered"])
+	}
+}
+
+func TestAsyncObserverCounters(t *testing.T) {
+	o := obs.New(nil)
+	prog, cfg := newEcho(100, 5, 3)
+	cfg.AsyncExchange = true
+	cfg.Observer = o
+	if _, err := Run[int](cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	s := o.Snapshot()
+	if s.CreditRounds == 0 {
+		t.Fatal("async run recorded no credit rounds")
+	}
+	if s.FramesInFlightPeak < 0 {
+		t.Fatalf("frames-in-flight peak negative: %d", s.FramesInFlightPeak)
+	}
+	if !s.Ended {
+		t.Fatal("observer never saw RunEnded")
+	}
+	if s.Counters["delivered"] != 600 {
+		t.Fatalf("observer logical counters = %v, want delivered=600", s.Counters)
+	}
+}

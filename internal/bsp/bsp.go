@@ -92,6 +92,21 @@ type Config struct {
 	// checkpoint (or restarting from scratch when no checkpoint exists yet).
 	// 0 disables in-run recovery.
 	MaxRecoveries int
+	// AsyncExchange replaces the barriered superstep loop with the pipelined
+	// async message plane (async.go): workers flush fixed-size frame batches
+	// as they are produced, receivers expand frames as they arrive, and the
+	// barrier degrades to a credit/ack termination detector. Final counts are
+	// bit-identical to strict mode for programs whose results are independent
+	// of message-processing order (the engine's are; the differential suites
+	// pin it). StepTimeout does not apply (there are no steps to bound);
+	// MaxSupersteps is approximated as a per-worker flushed-frame bound; and
+	// checkpoints are taken at induced quiescence points instead of barriers.
+	AsyncExchange bool
+	// AsyncFlushEvery is the async plane's frame granularity: a worker
+	// flushes a destination batch once it holds this many messages. Smaller
+	// values pipeline more aggressively at higher framing overhead. 0 means
+	// 256. Ignored in strict mode.
+	AsyncFlushEvery int
 	// Observer receives the run's metrics and trace events (superstep
 	// timings, exchange volume, transport frames and bytes, checkpoint and
 	// recovery events). Nil disables observation entirely; every hook is a
@@ -226,6 +241,9 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = 1 << 20
+	}
+	if cfg.AsyncExchange {
+		return runAsync[M](ctx, cfg, prog, maxSteps)
 	}
 	buildExchange := func() (Exchange[M], error) {
 		return newExchangeFromFactory[M](ctx, cfg.Exchange, cfg.Workers, cfg.Observer)

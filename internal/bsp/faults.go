@@ -84,32 +84,35 @@ type faultyExchange[M any] struct {
 	state *faultyState
 }
 
-// draw advances the shared fault stream once and decides this call's fate:
-// a non-nil error (injected fault) or a delay to sleep before delivering.
-func (f *faultyExchange[M]) draw(step int) (error, time.Duration) {
-	st := f.state
+// draw advances the shared fault stream once and decides one call's fate: a
+// non-nil error (injected fault) or a delay to sleep before delivering. The
+// strict wrapper draws per barrier Exchange; the async wrapper draws per
+// frame Send with the frame's flush sequence as step — both share this state
+// so a factory's fault budget and PRNG stream span exchange rebuilds and
+// execution modes alike.
+func (st *faultyState) draw(fc FaultConfig, step int) (error, time.Duration) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	r := st.rng.float64v()
-	if step < f.fc.FromStep {
+	if step < fc.FromStep {
 		return nil, 0
 	}
-	canFault := f.fc.MaxFaults == 0 || st.faults < f.fc.MaxFaults
+	canFault := fc.MaxFaults == 0 || st.faults < fc.MaxFaults
 	switch {
-	case canFault && r < f.fc.ErrorRate:
+	case canFault && r < fc.ErrorRate:
 		st.faults++
 		return fmt.Errorf("%w: transport error at step %d (fault #%d)", ErrInjectedFault, step, st.faults), 0
-	case canFault && r < f.fc.ErrorRate+f.fc.DropRate:
+	case canFault && r < fc.ErrorRate+fc.DropRate:
 		st.faults++
 		return fmt.Errorf("%w: batch dropped at step %d, detected at barrier (fault #%d)", ErrInjectedFault, step, st.faults), 0
-	case r < f.fc.ErrorRate+f.fc.DropRate+f.fc.DelayRate && f.fc.MaxDelay > 0:
-		return nil, time.Duration(st.rng.float64v() * float64(f.fc.MaxDelay))
+	case r < fc.ErrorRate+fc.DropRate+fc.DelayRate && fc.MaxDelay > 0:
+		return nil, time.Duration(st.rng.float64v() * float64(fc.MaxDelay))
 	}
 	return nil, 0
 }
 
 func (f *faultyExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
-	fault, delay := f.draw(step)
+	fault, delay := f.state.draw(f.fc, step)
 	if fault != nil {
 		return nil, fault
 	}

@@ -56,6 +56,20 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // their retry loops in the same nanosecond still draw different jitter.
 var retrySeedCounter atomic.Int64
 
+// retrySeed derives the per-call seed for unseeded jitter. The clock and the
+// counter are mixed through a splitmix64-style avalanche finalizer so every
+// counter increment flips about half the seed bits. The previous scheme,
+// `nano ^ (counter << 20)`, left same-tick callers with seeds differing only
+// in a narrow bit window — newFaultRand's single multiply did not disperse
+// that, so concurrent retriers drew correlated backoff sequences and
+// thundering-herded the peer that full jitter exists to protect.
+func retrySeed() int64 {
+	z := uint64(time.Now().UnixNano()) + uint64(retrySeedCounter.Add(1))*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // backoffFor returns the sleep before the retry following `attempt` (1-based
 // failed attempts so far): the deterministic cap under NoJitter, otherwise a
 // uniform draw in [0, cap].
@@ -85,7 +99,7 @@ func withRetry(ctx context.Context, p RetryPolicy, op func() error) error {
 	if !p.NoJitter {
 		seed := p.JitterSeed
 		if seed == 0 {
-			seed = time.Now().UnixNano() ^ (retrySeedCounter.Add(1) << 20)
+			seed = retrySeed()
 		}
 		rng = newFaultRand(seed)
 	}

@@ -3,6 +3,8 @@ package bsp
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -75,6 +77,50 @@ func TestBackoffUnseededDrawsDecorrelate(t *testing.T) {
 	}
 	if same == draws {
 		t.Fatal("two differently seeded jitter streams produced identical schedules")
+	}
+}
+
+// TestConcurrentRetrySeedsDecorrelate: many retriers created as close to the
+// same instant as the scheduler allows must all draw distinct seeds AND
+// distinct backoff schedules. The pre-fix seeding (nano ^ counter<<20) handed
+// same-tick callers seeds differing only in a narrow bit window, which the
+// PRNG's single-multiply seeding did not disperse — their jitter correlated
+// and the thundering herd full jitter exists to prevent came back.
+func TestConcurrentRetrySeedsDecorrelate(t *testing.T) {
+	const n = 256
+	seeds := make([]int64, n)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := range seeds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait() // maximize same-tick collisions
+			seeds[i] = retrySeed()
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	seen := make(map[int64]bool, n)
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	schedules := make(map[string]int, n)
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("two retriers drew the same seed %d", s)
+		}
+		seen[s] = true
+		rng := newFaultRand(s)
+		sig := ""
+		for a := 1; a <= 4; a++ {
+			sig += fmt.Sprintf("%d,", backoffFor(p, rng, a))
+		}
+		schedules[sig]++
+	}
+	for sig, c := range schedules {
+		if c > 1 {
+			t.Fatalf("%d concurrent retriers drew the identical backoff schedule [%s]", c, sig)
+		}
 	}
 }
 

@@ -128,16 +128,29 @@ type scheduledExchange[M any] struct {
 	state *scheduleState
 }
 
+// scheduledFaultError renders the failing fault kinds (kill, drop,
+// partition) into their canonical error text; delay returns nil and the
+// caller sleeps. Shared between the strict wrapper (step = superstep) and
+// the async wrapper (step = frame flush sequence) so the chaos harness sees
+// identical error shapes from both modes.
+func scheduledFaultError(f StepFault, step int) error {
+	switch f.Kind {
+	case StepFaultKill:
+		return fmt.Errorf("%w: worker %d killed at superstep %d", ErrInjectedFault, f.Worker, step)
+	case StepFaultDrop:
+		return fmt.Errorf("%w: batch dropped at superstep %d, detected at barrier", ErrInjectedFault, step)
+	case StepFaultPartition:
+		return fmt.Errorf("%w: mesh partitioned at worker %d boundary, superstep %d", ErrInjectedFault, f.Worker, step)
+	}
+	return nil
+}
+
 func (s *scheduledExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]Envelope[M]) ([][]Envelope[M], error) {
 	if f, ok := s.state.next(step); ok {
-		switch f.Kind {
-		case StepFaultKill:
-			return nil, fmt.Errorf("%w: worker %d killed at superstep %d", ErrInjectedFault, f.Worker, step)
-		case StepFaultDrop:
-			return nil, fmt.Errorf("%w: batch dropped at superstep %d, detected at barrier", ErrInjectedFault, step)
-		case StepFaultPartition:
-			return nil, fmt.Errorf("%w: mesh partitioned at worker %d boundary, superstep %d", ErrInjectedFault, f.Worker, step)
-		case StepFaultDelay:
+		if err := scheduledFaultError(f, step); err != nil {
+			return nil, err
+		}
+		if f.Kind == StepFaultDelay {
 			timer := time.NewTimer(f.Delay)
 			select {
 			case <-ctx.Done():

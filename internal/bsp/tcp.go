@@ -140,6 +140,14 @@ func appendHandshake(dst []byte, src, dstW int) []byte {
 }
 
 func newTCPExchange[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer) (Exchange[M], error) {
+	return newTCPMesh[M](ctx, workers, cfg, o)
+}
+
+// newTCPMesh builds the K×K loopback connection mesh both TCP modes run on:
+// the strict barriered Exchange drives it frame-by-frame per superstep, and
+// the async transport (tcpasync.go) attaches persistent reader goroutines to
+// the same conns.
+func newTCPMesh[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer) (*tcpExchange[M], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -353,10 +361,16 @@ func (cr countingReader) Read(p []byte) (int, error) {
 }
 
 // sendFrame writes one batch to the (src, dst) conn in the exchange's mode.
-// In wire mode the whole frame is staged in a pooled buffer and written with
-// a single syscall.
 func (ex *tcpExchange[M]) sendFrame(src, dst, step int, batch []Envelope[M]) error {
-	ex.connOut[src][dst].SetWriteDeadline(ex.frameDeadline)
+	return ex.sendFrameAt(src, dst, step, batch, ex.frameDeadline)
+}
+
+// sendFrameAt is sendFrame with an explicit write deadline, for callers that
+// don't run under the barrier's shared frameDeadline (the async transport
+// arms a fresh deadline per frame). In wire mode the whole frame is staged
+// in a pooled buffer and written with a single syscall.
+func (ex *tcpExchange[M]) sendFrameAt(src, dst, step int, batch []Envelope[M], deadline time.Time) error {
+	ex.connOut[src][dst].SetWriteDeadline(deadline)
 	if !ex.wire {
 		if err := ex.enc[src][dst].Encode(frame[M]{Step: step, Batch: batch}); err != nil {
 			return err
@@ -377,7 +391,14 @@ func (ex *tcpExchange[M]) sendFrame(src, dst, step int, batch []Envelope[M]) err
 
 // recvFrame reads one batch from the (dst, src) conn in the exchange's mode.
 func (ex *tcpExchange[M]) recvFrame(dst, src int) (int, []Envelope[M], error) {
-	ex.connIn[dst][src].SetReadDeadline(ex.frameDeadline)
+	return ex.recvFrameAt(dst, src, ex.frameDeadline)
+}
+
+// recvFrameAt is recvFrame with an explicit read deadline; the async
+// transport's reader loops pass the zero time (block until a frame arrives
+// or the conn is closed).
+func (ex *tcpExchange[M]) recvFrameAt(dst, src int, deadline time.Time) (int, []Envelope[M], error) {
+	ex.connIn[dst][src].SetReadDeadline(deadline)
 	if !ex.wire {
 		var fr frame[M]
 		if err := ex.dec[dst][src].Decode(&fr); err != nil {

@@ -1,0 +1,89 @@
+package bsp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psgl/internal/obs"
+)
+
+// tcpAsyncTransport runs the loopback TCP mesh in pipelined mode: instead of
+// the strict barrier's matched send/recv rounds, each off-diagonal (dst, src)
+// conn gets a persistent reader goroutine that delivers frames into the
+// destination's queue the moment they arrive — and only then releases the
+// sender's credit. Frames reuse the strict mode's codecs (length-prefixed
+// wire frames for WireMessage types, gob otherwise), with the flush sequence
+// number riding in the step field; frame/byte accounting flows through the
+// same mesh helpers, so the observer's physical counters stay comparable
+// across modes.
+//
+// Each conn is written by exactly one worker goroutine (worker w flushes
+// only frames with src == w) and read by exactly one reader goroutine, so no
+// per-conn locking is needed.
+type tcpAsyncTransport[M any] struct {
+	mesh   *tcpExchange[M]
+	cfg    TCPConfig
+	h      asyncHooks[M]
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+func newTCPAsyncTransport[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer, h asyncHooks[M]) (asyncTransport[M], error) {
+	mesh, err := newTCPMesh[M](ctx, workers, cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	t := &tcpAsyncTransport[M]{mesh: mesh, cfg: cfg, h: h}
+	for dst := 0; dst < workers; dst++ {
+		for src := 0; src < workers; src++ {
+			if src == dst {
+				continue
+			}
+			t.wg.Add(1)
+			go t.readLoop(dst, src)
+		}
+	}
+	return t, nil
+}
+
+// readLoop drains one (dst, src) conn for the transport's lifetime. Reads
+// block indefinitely (zero deadline): a quiet conn is normal in async mode,
+// and teardown unblocks the read by closing the conn. Errors on a live
+// transport are fatal to the attempt — the peer's credit cannot be released
+// without the frame, so the coordinator must recover, not wait.
+func (t *tcpAsyncTransport[M]) readLoop(dst, src int) {
+	defer t.wg.Done()
+	for {
+		_, batch, err := t.mesh.recvFrameAt(dst, src, time.Time{})
+		if err != nil {
+			if !t.closed.Load() {
+				t.h.fatal(fmt.Errorf("bsp: async exchange recv %d<-%d: %w", dst, src, err))
+			}
+			return
+		}
+		t.h.deliver(dst, batch)
+		t.h.ack(src)
+	}
+}
+
+func (t *tcpAsyncTransport[M]) Send(ctx context.Context, src, dst, seq int, batch []Envelope[M]) error {
+	if t.closed.Load() {
+		return net.ErrClosed
+	}
+	deadline := time.Now().Add(t.cfg.FrameTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return t.mesh.sendFrameAt(src, dst, seq, batch, deadline)
+}
+
+func (t *tcpAsyncTransport[M]) Close() error {
+	t.closed.Store(true)
+	err := t.mesh.Close()
+	t.wg.Wait()
+	return err
+}

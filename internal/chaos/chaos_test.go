@@ -205,3 +205,114 @@ func TestDelayOnlyScheduleNeedsNoRecovery(t *testing.T) {
 		t.Fatalf("delay-only schedule recovered (%d) or restarted (%d)", out.Recoveries, out.Restarts)
 	}
 }
+
+// TestAsyncKillOneWorkerBitIdenticalLocal reruns the acceptance kill
+// schedule with the pipelined async exchange in both the clean and chaos
+// legs: scheduled steps now name frame flush sequences instead of barriers,
+// kills surface on the first Send carrying that seq, and recovery restores
+// the latest quiescence checkpoint (or restarts from scratch if the kill
+// beat the first snapshot). The count must stay bit-identical either way.
+func TestAsyncKillOneWorkerBitIdenticalLocal(t *testing.T) {
+	g := gen.ErdosRenyi(80, 500, 1)
+	p := pattern.PG2()
+	for seed := int64(1); seed <= 5; seed++ {
+		sched := NewKillSchedule(seed, 3, 2)
+		out, err := Run(context.Background(), Config{
+			Graph:   g,
+			Pattern: p,
+			Opts:    core.Options{Workers: 3, Seed: 1, AsyncExchange: true},
+		}, sched)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sched, err)
+		}
+		if !out.Identical {
+			t.Fatalf("seed %d (%s): async chaos count %d != clean %d",
+				seed, sched, out.ChaosCount, out.CleanCount)
+		}
+		if out.FaultsFired == 0 {
+			t.Fatalf("seed %d (%s): schedule never fired against frame seqs", seed, sched)
+		}
+		// Unlike strict mode, a fired kill need not force a recovery here:
+		// the harness's repeated kill copies can be claimed by *different*
+		// workers' first attempts and each absorbed by its own retry, so no
+		// single worker exhausts its budget. Identical counts are the
+		// invariant; the recovery path is pinned by the bsp-level tests.
+	}
+}
+
+// TestAsyncKillScheduleBitIdenticalTCP: the same async kill schedule over
+// real loopback-TCP pipes — a killed frame Send rides the pipelined
+// transport, recovery tears down and rebuilds the mesh plus its reader
+// goroutines, and the count must still match the clean async run.
+func TestAsyncKillScheduleBitIdenticalTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp chaos in -short mode")
+	}
+	g := gen.ErdosRenyi(60, 300, 2)
+	p := pattern.Triangle()
+	for seed := int64(1); seed <= 3; seed++ {
+		sched := NewKillSchedule(seed, 3, 2)
+		out, err := Run(context.Background(), Config{
+			Graph:    g,
+			Pattern:  p,
+			Opts:     core.Options{Workers: 3, Seed: 2, AsyncExchange: true},
+			Exchange: bsp.NewTCPExchangeFactory(),
+		}, sched)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sched, err)
+		}
+		if !out.Identical {
+			t.Fatalf("seed %d (%s): async chaos count %d != clean %d",
+				seed, sched, out.ChaosCount, out.CleanCount)
+		}
+	}
+}
+
+// TestAsyncMixedScheduleSurvives: kills, drops, delays, and partitions
+// against frame sequences of an async run still converge to the clean
+// async count.
+func TestAsyncMixedScheduleSurvives(t *testing.T) {
+	g := gen.ErdosRenyi(80, 500, 3)
+	p := pattern.Triangle()
+	sched := NewSchedule(42, 3, 4, 4)
+	out, err := Run(context.Background(), Config{
+		Graph:   g,
+		Pattern: p,
+		Opts:    core.Options{Workers: 3, Seed: 3, AsyncExchange: true},
+	}, sched)
+	if err != nil {
+		t.Fatalf("%s: %v", sched, err)
+	}
+	if !out.Identical {
+		t.Fatalf("%s: async chaos count %d != clean %d", sched, out.ChaosCount, out.CleanCount)
+	}
+	if out.FaultsInjected != 4 {
+		t.Fatalf("injected %d, want 4", out.FaultsInjected)
+	}
+}
+
+// TestAsyncDelayOnlyScheduleNeedsNoRecovery: delayed frames merely stretch
+// the pipeline — the credit detector waits them out, no retry fires, and
+// neither recovery nor restart is recorded.
+func TestAsyncDelayOnlyScheduleNeedsNoRecovery(t *testing.T) {
+	g := gen.ErdosRenyi(60, 300, 6)
+	p := pattern.Triangle()
+	sched := Schedule{Seed: 13, Events: []Event{
+		{Step: 1, Kind: Delay, Delay: 2 * time.Millisecond},
+		{Step: 2, Kind: Delay, Delay: 2 * time.Millisecond},
+	}}
+	out, err := Run(context.Background(), Config{
+		Graph:   g,
+		Pattern: p,
+		Opts:    core.Options{Workers: 3, Seed: 6, AsyncExchange: true},
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Identical {
+		t.Fatalf("async chaos count %d != clean %d", out.ChaosCount, out.CleanCount)
+	}
+	if out.Recoveries != 0 || out.Restarts != 0 {
+		t.Fatalf("delay-only async schedule recovered (%d) or restarted (%d)", out.Recoveries, out.Restarts)
+	}
+}

@@ -76,6 +76,7 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 		Owner:           func(v graph.VertexID) int { return e.part.Owner(v) },
 		MaxSupersteps:   opts.MaxSupersteps,
 		Exchange:        opts.Exchange,
+		AsyncExchange:   opts.AsyncExchange,
 		StepTimeout:     opts.StepTimeout,
 		Retry:           opts.Retry,
 		CheckpointEvery: opts.CheckpointEvery,

@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"testing"
+	"time"
 
 	"psgl/internal/bsp"
 	"psgl/internal/gen"
@@ -38,6 +39,8 @@ func HotpathBenchmarks() []HotpathBenchmark {
 		{"gpsi-wire-roundtrip", benchmarkGpsiWireRoundTrip},
 		{"frame-wire-roundtrip", benchmarkFrameWire},
 		{"frame-gob-roundtrip", benchmarkFrameGob},
+		{"e2e-strict-barrier", benchmarkStragglerExchange(false)},
+		{"e2e-async-pipelined", benchmarkStragglerExchange(true)},
 	}
 }
 
@@ -167,6 +170,91 @@ func benchmarkExpandHub(disableBitset bool) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ctx.ResetSends()
 			e.Process(ctx, inbox2[i%len(inbox2)])
+		}
+	}
+}
+
+// The async-vs-barrier end-to-end pair: random walks over a skewed Chung–Lu
+// graph under a rotating latency straggler. Each round, one worker (rotating
+// with the round number) stalls briefly on every message it processes — a
+// service-time hiccup in the GC-pause/noisy-neighbor family, not CPU work, so
+// the comparison is meaningful even on a single-core machine. Strict BSP
+// serializes the stalls at the barriers: every superstep ends with the whole
+// fleet waiting out that round's straggler, and the wall clock integrates
+// Σ_rounds (straggler stall × its message share). The pipelined async
+// exchange lets the other workers race ahead into later rounds while the
+// straggler drains, so each worker only pays for the rounds where it is the
+// straggler — the Section 4.2 makespan argument, measured.
+//
+// Both modes walk identical trajectories (the neighbor choice is a hash of
+// the walker's position, not of arrival order), so the benchmark doubles as
+// a differential check: the walks counter must match exactly.
+
+// stragglerMsg is one walker: its current vertex and its round (hop count).
+type stragglerMsg struct {
+	V     graph.VertexID
+	Round int32
+}
+
+type stragglerProgram struct {
+	g      *graph.Graph
+	k      int
+	rounds int32
+	seeds  int // walkers started per worker
+	stall  time.Duration
+}
+
+func (p *stragglerProgram) Init(ctx *bsp.Context[stragglerMsg]) {
+	n := uint64(p.g.NumVertices())
+	rng := uint64(ctx.Worker())*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	for i := 0; i < p.seeds; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := graph.VertexID(rng % n)
+		ctx.Send(v, stragglerMsg{V: v, Round: 0})
+	}
+}
+
+func (p *stragglerProgram) Process(ctx *bsp.Context[stragglerMsg], env bsp.Envelope[stragglerMsg]) {
+	m := env.Msg
+	if m.Round >= p.rounds {
+		ctx.AddCounter("walks", 1)
+		return
+	}
+	if ctx.Worker() == int(m.Round)%p.k {
+		time.Sleep(p.stall)
+	}
+	next := m.V
+	if nbrs := p.g.Neighbors(m.V); len(nbrs) > 0 {
+		next = nbrs[(int(m.V)*31+int(m.Round)*17)%len(nbrs)]
+	}
+	ctx.Send(next, stragglerMsg{V: next, Round: m.Round + 1})
+}
+
+func benchmarkStragglerExchange(async bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			workers = 4
+			rounds  = 8
+			seeds   = 16
+			stall   = 500 * time.Microsecond
+		)
+		g := gen.ChungLu(2000, 10000, 1.6, 17)
+		prog := &stragglerProgram{g: g, k: workers, rounds: rounds, seeds: seeds, stall: stall}
+		cfg := bsp.Config{
+			Workers:       workers,
+			Owner:         func(v graph.VertexID) int { return int(v) % workers },
+			MaxSupersteps: rounds + 2,
+			AsyncExchange: async,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats, err := bsp.Run(cfg, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := stats.Counters["walks"]; got != workers*seeds {
+				b.Fatalf("%d walks completed, want %d (modes must agree exactly)", got, workers*seeds)
+			}
 		}
 	}
 }

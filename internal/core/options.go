@@ -133,6 +133,16 @@ type Options struct {
 	// bsp.NewTCPExchangeFactory() for loopback-TCP distribution,
 	// bsp.NewFaultyExchangeFactory for fault-injected recovery testing).
 	Exchange bsp.ExchangeFactory
+	// AsyncExchange runs the BSP substrate in pipelined async mode: workers
+	// flush fixed-size Gpsi frames as they are produced, receivers expand
+	// them as they arrive, and termination is detected by credit/ack
+	// accounting instead of barriers. Counts are bit-identical to strict
+	// mode (the engine's enumeration is processing-order independent; the
+	// differential suites pin it) — except under MaxResults, where the early
+	// stop lands on a different processing prefix, so the truncated count
+	// may differ between modes. StepTimeout does not apply in async mode,
+	// and checkpoints snapshot at quiescence points instead of barriers.
+	AsyncExchange bool
 
 	// Fault tolerance (mirrors the Giraph substrate's barrier-aligned
 	// checkpointing, Section 6). Counts and counters are exact across

@@ -248,6 +248,12 @@ type Observer struct {
 	canonHits       atomic.Int64
 	canonMisses     atomic.Int64
 
+	// Async-exchange counters (fed by the pipelined message plane at frame
+	// and termination-scan granularity — never per message).
+	creditRounds      atomic.Int64
+	earlyExpansions   atomic.Int64
+	framesInFlightMax atomic.Int64
+
 	mu    sync.Mutex
 	steps []StepMetrics
 	// Logical end-of-run state, mirrored from the engine at RunEnded (these
@@ -555,6 +561,41 @@ func (o *Observer) AddCensus(subgraphs, canonHits, canonMisses int64) {
 	o.censusSubgraphs.Add(subgraphs)
 	o.canonHits.Add(canonHits)
 	o.canonMisses.Add(canonMisses)
+}
+
+// AddCreditRound counts one termination-detector scan by the async plane's
+// coordinator (each scan checks outstanding credit and worker idleness; the
+// round count is the async analogue of the barrier count).
+func (o *Observer) AddCreditRound() {
+	if o == nil {
+		return
+	}
+	o.creditRounds.Add(1)
+}
+
+// AddEarlyExpansion counts one frame delivered to a worker that was already
+// expanding a backlog — the async plane's pipelining win, where expansion
+// overlaps communication instead of waiting at a barrier.
+func (o *Observer) AddEarlyExpansion() {
+	if o == nil {
+		return
+	}
+	o.earlyExpansions.Add(1)
+}
+
+// ObserveFramesInFlight folds one observation of the async plane's
+// outstanding-frame gauge into its high-water mark. Safe for concurrent use
+// (called from every worker's flush path).
+func (o *Observer) ObserveFramesInFlight(cur int64) {
+	if o == nil {
+		return
+	}
+	for {
+		peak := o.framesInFlightMax.Load()
+		if cur <= peak || o.framesInFlightMax.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
 }
 
 // Steps returns the physical superstep log (replays appear once per

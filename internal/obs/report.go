@@ -47,6 +47,12 @@ type Snapshot struct {
 	CanonHits       int64 `json:"canon_hits"`
 	CanonMisses     int64 `json:"canon_misses"`
 
+	// Async-exchange counters (monotonic; fed by the pipelined message
+	// plane's coordinator and flush paths).
+	CreditRounds       int64 `json:"credit_rounds"`
+	EarlyExpansions    int64 `json:"early_expansions"`
+	FramesInFlightPeak int64 `json:"frames_in_flight_peak"`
+
 	// Logical end-of-run state (exactly-once; zero until RunEnded).
 	Ended          bool             `json:"ended"`
 	Supersteps     int              `json:"supersteps"`
@@ -92,6 +98,9 @@ func (o *Observer) Snapshot() Snapshot {
 		CensusSubgraphs:    o.censusSubgraphs.Load(),
 		CanonHits:          o.canonHits.Load(),
 		CanonMisses:        o.canonMisses.Load(),
+		CreditRounds:       o.creditRounds.Load(),
+		EarlyExpansions:    o.earlyExpansions.Load(),
+		FramesInFlightPeak: o.framesInFlightMax.Load(),
 	}
 	o.mu.Lock()
 	s.Ended = o.ended
@@ -158,6 +167,10 @@ func (o *Observer) WriteReport(w io.Writer) {
 	if s.HeartbeatMisses+s.Evictions+s.QueryRetries+s.HedgedQueries > 0 {
 		fmt.Fprintf(w, "worker plane: %d heartbeat misses, %d evictions, %d query retries, %d hedged dispatches\n",
 			s.HeartbeatMisses, s.Evictions, s.QueryRetries, s.HedgedQueries)
+	}
+	if s.CreditRounds > 0 {
+		fmt.Fprintf(w, "async exchange: %d credit rounds, %d early expansions, %d frames in flight at peak\n",
+			s.CreditRounds, s.EarlyExpansions, s.FramesInFlightPeak)
 	}
 	if s.CensusSubgraphs+s.CanonHits+s.CanonMisses > 0 {
 		lookups := s.CanonHits + s.CanonMisses

@@ -367,7 +367,14 @@ func (pl *plane) validateReply(id string, resp *http.Response) error {
 func (s *Server) writeDegraded(w http.ResponseWriter, alive int) {
 	pl := s.plane
 	pl.degraded.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(int(pl.cfg.RetryAfter.Seconds()+0.5)))
+	// Retry-After is whole seconds; a sub-second hint must round up, not
+	// down — "Retry-After: 0" tells aggressive clients to hammer a plane
+	// that just told them it is degraded.
+	secs := int(pl.cfg.RetryAfter.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	jsonError(w, http.StatusServiceUnavailable,
 		"worker plane degraded: %d alive, quorum %d; retry shortly", alive, pl.cfg.Quorum)
 }
@@ -451,8 +458,17 @@ func (s *Server) remoteCount(ctx context.Context, w http.ResponseWriter, params 
 			return
 		}
 	}
-	// Every candidate failed. If the failures took us below quorum, say so
-	// with Retry-After; otherwise it's a plain upstream failure.
+	// Every candidate failed. A canceled query is the client's deadline, not
+	// an upstream fault — the last outcome can race ahead of ctx.Done() in
+	// the select above, and reporting that race as 502 "all workers failed"
+	// miscounts a timeout as a worker-tier outage. Then: if the failures took
+	// us below quorum, say so with Retry-After; otherwise it's a plain
+	// upstream failure.
+	if ctx.Err() != nil {
+		s.deadlineExceeded.Add(1)
+		jsonError(w, http.StatusGatewayTimeout, "query canceled: %v", ctx.Err())
+		return
+	}
 	s.failed.Add(1)
 	if pl.reg.NumAlive() < pl.cfg.Quorum {
 		s.writeDegraded(w, pl.reg.NumAlive())
@@ -495,6 +511,15 @@ func (s *Server) remoteStream(ctx context.Context, w http.ResponseWriter, params
 		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 		resp, err := pl.client.Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The dispatch failed because the query was canceled, not
+				// because the worker is unhealthy: stop failing over (each
+				// further attempt would fail identically and be miscounted
+				// as a worker failover) and answer 504.
+				s.deadlineExceeded.Add(1)
+				jsonError(w, http.StatusGatewayTimeout, "query canceled: %v", ctx.Err())
+				return
+			}
 			lastErr = fmt.Errorf("dispatch to %s: %w", wk.ID, err)
 			continue
 		}
@@ -525,6 +550,11 @@ func (s *Server) remoteStream(ctx context.Context, w http.ResponseWriter, params
 		} else {
 			s.completed.Add(1)
 		}
+		return
+	}
+	if ctx.Err() != nil {
+		s.deadlineExceeded.Add(1)
+		jsonError(w, http.StatusGatewayTimeout, "query canceled: %v", ctx.Err())
 		return
 	}
 	s.failed.Add(1)

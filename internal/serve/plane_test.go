@@ -19,6 +19,7 @@ import (
 	"psgl/internal/core"
 	"psgl/internal/gen"
 	"psgl/internal/graph"
+	"psgl/internal/obs"
 	"psgl/internal/pattern"
 )
 
@@ -397,5 +398,91 @@ func TestWorkerGracefulStopLeaves(t *testing.T) {
 	}
 	if st.Plane.Alive != 1 {
 		t.Fatalf("alive = %d, want 1", st.Plane.Alive)
+	}
+}
+
+// TestDegradedRetryAfterNeverZero: a sub-second RetryAfter hint must round UP
+// to 1 second, never down to "Retry-After: 0" — zero tells well-behaved
+// clients to retry immediately and turns a degraded plane into a hammered
+// one. Table over the hint durations a deployment might plausibly configure.
+func TestDegradedRetryAfterNeverZero(t *testing.T) {
+	cases := []struct {
+		hint time.Duration
+		want string
+	}{
+		{200 * time.Millisecond, "1"},
+		{499 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	g := testGraph(t)
+	for _, tc := range cases {
+		s, _ := newTestServer(t, g, Config{Plane: &PlaneConfig{RetryAfter: tc.hint}})
+		rec := httptest.NewRecorder()
+		s.writeDegraded(rec, 0)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("hint %v: status %d, want 503", tc.hint, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Fatalf("hint %v: Retry-After %q, want %q", tc.hint, got, tc.want)
+		}
+	}
+}
+
+// TestDegradedQueryCarriesRetryAfter: the integration face of the same bug —
+// a /query against an under-quorum plane configured with a sub-second hint
+// must answer 503 with a non-zero Retry-After header.
+func TestDegradedQueryCarriesRetryAfter(t *testing.T) {
+	g := testGraph(t)
+	_, ts := newTestServer(t, g, Config{Plane: &PlaneConfig{RetryAfter: 100 * time.Millisecond}})
+	resp, err := http.Get(ts.URL + "/query?pattern=triangle&count_only=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" || got == "0" {
+		t.Fatalf("degraded 503 Retry-After = %q, want >= 1 second", got)
+	}
+}
+
+// TestRemoteDispatchCanceledIs504Not502: a canceled query whose dispatches
+// fail *because of the cancellation* must answer 504 gateway-timeout, not
+// 502 "all workers failed" — cancellation is the client's deadline, not a
+// worker-tier outage, and miscoding it poisons both the status-based alerts
+// and the failed-query counter. Table-driven over both dispatch paths; the
+// count path races its results channel against ctx.Done(), so it is run
+// repeatedly to pin the post-loop exit too.
+func TestRemoteDispatchCanceledIs504Not502(t *testing.T) {
+	s, _, _ := planeServer(t, Config{}, 1)
+	params := queryParams{patternSrc: "triangle", workers: 2, deadline: time.Second, countOnly: true}
+	o := obs.New(nil)
+	cases := []struct {
+		name     string
+		dispatch func(ctx context.Context, rec *httptest.ResponseRecorder)
+		rounds   int
+	}{
+		{"count", func(ctx context.Context, rec *httptest.ResponseRecorder) {
+			s.remoteCount(ctx, rec, params, o)
+		}, 20},
+		{"stream", func(ctx context.Context, rec *httptest.ResponseRecorder) {
+			s.remoteStream(ctx, rec, params, o)
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < tc.rounds; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				rec := httptest.NewRecorder()
+				tc.dispatch(ctx, rec)
+				if rec.Code != http.StatusGatewayTimeout {
+					t.Fatalf("round %d: canceled dispatch answered %d, want 504", i, rec.Code)
+				}
+			}
+		})
 	}
 }

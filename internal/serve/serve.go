@@ -82,6 +82,12 @@ type Config struct {
 	// resuming from its last barrier checkpoint (CheckpointEvery > 0) or
 	// from scratch. 0 disables.
 	QueryRetries int
+	// AsyncExchange runs local queries on the pipelined async BSP exchange
+	// (credit-based termination instead of superstep barriers). Counts are
+	// identical to strict mode; `limit`-truncated streams may cut at a
+	// different prefix. Checkpoints, when enabled, snapshot at quiescence
+	// points.
+	AsyncExchange bool
 	// Plane, when non-nil, turns the server into the coordinator of a
 	// remote worker plane: queries are dispatched to registered psgl-worker
 	// processes instead of running in-process, and below Plane.Quorum the
@@ -402,6 +408,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts.PlannedPattern = true
 	opts.InitialVertex = plan.InitialVertex
 	opts.Exchange = s.testExchange
+	opts.AsyncExchange = s.cfg.AsyncExchange
 	if s.cfg.CheckpointEvery > 0 {
 		opts.CheckpointEvery = s.cfg.CheckpointEvery
 		opts.CheckpointStore = bsp.NewMemCheckpointStore()

@@ -675,3 +675,24 @@ func TestLocalQueryRetryResumesFromCheckpoint(t *testing.T) {
 		t.Fatalf("failed = %d, want 0 (the retry succeeded)", st.Queries.Failed)
 	}
 }
+
+// TestAsyncExchangeCountMatches: a server running local queries over the
+// pipelined async exchange answers the exact same counts as the default
+// strict-barrier server — the serving face of the async differential.
+func TestAsyncExchangeCountMatches(t *testing.T) {
+	g := testGraph(t)
+	_, strictTS := newTestServer(t, g, Config{Workers: 3})
+	_, asyncTS := newTestServer(t, g, Config{Workers: 3, AsyncExchange: true})
+	for _, pat := range []string{"triangle", "cycle(4)"} {
+		var strict, async countResponse
+		if code := getJSON(t, strictTS.URL+"/query?pattern="+pat+"&count_only=true", &strict); code != http.StatusOK {
+			t.Fatalf("%s strict: status %d", pat, code)
+		}
+		if code := getJSON(t, asyncTS.URL+"/query?pattern="+pat+"&count_only=true", &async); code != http.StatusOK {
+			t.Fatalf("%s async: status %d", pat, code)
+		}
+		if strict.Count != async.Count {
+			t.Fatalf("%s: async server count %d != strict %d", pat, async.Count, strict.Count)
+		}
+	}
+}

@@ -225,7 +225,7 @@ type scheduledAsyncTransport[M any] struct {
 
 func (s *scheduledAsyncTransport[M]) Send(ctx context.Context, src, dst, seq int, batch []Envelope[M]) error {
 	if f, ok := s.state.next(seq); ok {
-		if err := scheduledFaultError(f, seq); err != nil {
+		if err := asyncScheduledFaultError(f, seq); err != nil {
 			return err
 		}
 		if f.Kind == StepFaultDelay {
@@ -260,8 +260,9 @@ type asyncWorker[M any] struct {
 	// StepFault at step S targets the worker's S-th *wire* frame and
 	// schedules written against low steps fire regardless of how many
 	// self-flushes preceded them. Both are touched only by the worker's own
-	// goroutine.
-	flushSeq int
+	// goroutine. flushSeq is int64 so the runaway bound comparison stays
+	// exact on 32-bit platforms.
+	flushSeq int64
 	sendSeq  int
 
 	procTime  time.Duration
@@ -280,7 +281,7 @@ type asyncAttempt[M any] struct {
 	snapper    Snapshotter
 	k          int
 	flushEvery int
-	maxFrames  int
+	maxFrames  int64
 	seeded     bool
 
 	stats    *RunStats
@@ -312,7 +313,9 @@ func newAsyncAttempt[M any](cfg *Config, prog Program[M], stats *RunStats, abort
 	if fe <= 0 {
 		fe = defaultAsyncFlushEvery
 	}
-	maxFrames := maxSteps
+	// Clamp and multiply in int64: the untyped 1<<40 constant (and the
+	// product) would overflow int on 32-bit platforms.
+	maxFrames := int64(maxSteps)
 	if maxFrames > 1<<40 {
 		maxFrames = 1 << 40
 	}
@@ -376,16 +379,16 @@ func (a *asyncAttempt[M]) deliver(dst int, batch []Envelope[M]) {
 // ack releases src's credit once a frame it sent has been enqueued at its
 // destination. Transports must call it strictly after deliver for the same
 // frame — that ordering is what makes zero outstanding credit mean "every
-// sent frame is in a queue".
+// sent frame is in a queue". The nudge is unconditional: over the TCP
+// transport acks arrive from reader goroutines, so the final ack — the one
+// that brings outstanding credit to zero — can land after the destination
+// worker's idle-nudge was already consumed, and without a fresh nudge here
+// the coordinator would block on the nudge channel with the plane fully
+// quiescent.
 func (a *asyncAttempt[M]) ack(src int) {
 	a.det.frameAcked(src)
-	n := a.ackedFrames.Add(1)
-	if a.ckEvery() > 0 && n-a.lastCkAckApprox() >= int64(a.ckEvery()) {
-		a.nudgeCoordinator()
-	}
-	if a.pause.Load() {
-		a.nudgeCoordinator()
-	}
+	a.ackedFrames.Add(1)
+	a.nudgeCoordinator()
 }
 
 func (a *asyncAttempt[M]) ckEvery() int {
@@ -393,13 +396,6 @@ func (a *asyncAttempt[M]) ckEvery() int {
 		return 0
 	}
 	return a.cfg.CheckpointEvery * a.k
-}
-
-// lastCkAckApprox reads the coordinator-owned watermark racily; the check is
-// a heuristic nudge trigger, and the coordinator re-verifies under its own
-// ledger before pausing.
-func (a *asyncAttempt[M]) lastCkAckApprox() int64 {
-	return atomic.LoadInt64(&a.lastCkAck)
 }
 
 func (a *asyncAttempt[M]) nudgeCoordinator() {
@@ -508,7 +504,7 @@ func (a *asyncAttempt[M]) checkpointPause(ctx context.Context) error {
 		return fmt.Errorf("bsp: checkpoint at quiescence point %d: %w", a.stats.Supersteps, err)
 	}
 	a.cfg.Observer.CheckpointSaved(a.stats.Supersteps, nbytes, time.Since(ckStart))
-	atomic.StoreInt64(&a.lastCkAck, a.ackedFrames.Load())
+	a.lastCkAck = a.ackedFrames.Load()
 	a.epochNum.Add(1)
 	a.resumeAll()
 	return nil

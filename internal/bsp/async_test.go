@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +89,96 @@ func TestCreditDetectorLateFrameAfterLocalQuiescence(t *testing.T) {
 	}
 	if !det.quiescent() {
 		t.Fatal("second scan (no new activity) should be quiescent")
+	}
+}
+
+func newTestAttempt(t *testing.T, cfg *Config, prog Program[int], seeded bool) *asyncAttempt[int] {
+	t.Helper()
+	stats := &RunStats{
+		WorkerTime:     make([]time.Duration, cfg.Workers),
+		WorkerMessages: make([]int64, cfg.Workers),
+		Counters:       map[string]int64{},
+	}
+	var abortPtr atomic.Pointer[error]
+	return newAsyncAttempt[int](cfg, prog, stats, &abortPtr, nil, seeded, 100)
+}
+
+func TestAsyncAckAlwaysNudgesCoordinator(t *testing.T) {
+	// Regression: ack() used to nudge the coordinator only when a checkpoint
+	// was due or a pause was in progress. The final ack — the one that brings
+	// outstanding credit to zero — may be the only event left to wake
+	// coordinate() for its last quiescence scan, so it must always nudge.
+	prog := &funcProgram[int]{
+		init:    func(*Context[int]) {},
+		process: func(*Context[int], Envelope[int]) {},
+	}
+	a := newTestAttempt(t, &Config{Workers: 2}, prog, true)
+	a.det.frameSent(0)
+	select {
+	case <-a.nudge: // drain any pending nudge, as coordinate() would
+	default:
+	}
+	a.ack(0)
+	select {
+	case <-a.nudge:
+	default:
+		t.Fatal("ack released the last credit without nudging the coordinator")
+	}
+}
+
+// delayedAckTransport delivers frames synchronously but releases each ack
+// from a separate goroutine only once the destination worker has drained its
+// queue and parked idle again — the TCP-reader interleaving where the final
+// ack lands after the destination's idle-nudge was already consumed.
+type delayedAckTransport[M any] struct {
+	h   asyncHooks[M]
+	det *creditDetector
+}
+
+func (t delayedAckTransport[M]) Send(_ context.Context, src, dst, _ int, batch []Envelope[M]) error {
+	t.h.deliver(dst, batch)
+	go func() {
+		for !t.det.idle[dst].Load() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Give the coordinator time to consume the idle-nudges and block on a
+		// non-quiescent verdict (credit still outstanding) before the ack.
+		time.Sleep(2 * time.Millisecond)
+		t.h.ack(src)
+	}()
+	return nil
+}
+
+func (t delayedAckTransport[M]) Close() error { return nil }
+
+func TestAsyncDelayedAckStillTerminates(t *testing.T) {
+	// Regression for the lost-wakeup hang: every worker parks and nudges,
+	// the coordinator scans (credit still outstanding) and blocks, and only
+	// then does the transport ack the last frame. The run must still detect
+	// quiescence instead of hanging forever on the nudge channel.
+	prog := &funcProgram[int]{
+		init: func(ctx *Context[int]) {
+			if ctx.Worker() == 0 {
+				ctx.Send(100, 1)
+			}
+		},
+		process: func(*Context[int], Envelope[int]) {},
+	}
+	cfg := &Config{
+		Workers: 2,
+		Owner: func(v graph.VertexID) int {
+			if v < 100 {
+				return 0
+			}
+			return 1
+		},
+	}
+	a := newTestAttempt(t, cfg, prog, false)
+	a.transport = delayedAckTransport[int]{h: a.hooks(), det: a.det}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.runAttempt(ctx); err != nil {
+		t.Fatalf("delayed-ack attempt did not terminate cleanly: %v", err)
 	}
 }
 

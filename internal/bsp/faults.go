@@ -87,7 +87,7 @@ type faultyExchange[M any] struct {
 // draw advances the shared fault stream once and decides one call's fate: a
 // non-nil error (injected fault) or a delay to sleep before delivering. The
 // strict wrapper draws per barrier Exchange; the async wrapper draws per
-// frame Send with the frame's flush sequence as step — both share this state
+// frame Send with the sender's wire-frame sequence as step — both share this state
 // so a factory's fault budget and PRNG stream span exchange rebuilds and
 // execution modes alike.
 func (st *faultyState) draw(fc FaultConfig, step int) (error, time.Duration) {
@@ -104,7 +104,7 @@ func (st *faultyState) draw(fc FaultConfig, step int) (error, time.Duration) {
 		return fmt.Errorf("%w: transport error at step %d (fault #%d)", ErrInjectedFault, step, st.faults), 0
 	case canFault && r < fc.ErrorRate+fc.DropRate:
 		st.faults++
-		return fmt.Errorf("%w: batch dropped at step %d, detected at barrier (fault #%d)", ErrInjectedFault, step, st.faults), 0
+		return fmt.Errorf("%w: batch dropped at step %d, detected before delivery (fault #%d)", ErrInjectedFault, step, st.faults), 0
 	case r < fc.ErrorRate+fc.DropRate+fc.DelayRate && fc.MaxDelay > 0:
 		return nil, time.Duration(st.rng.float64v() * float64(fc.MaxDelay))
 	}

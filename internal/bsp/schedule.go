@@ -53,6 +53,12 @@ func (k StepFaultKind) String() string {
 // StepFault is one scheduled event: at superstep Step, do Kind. Worker names
 // the victim (kill) or the partition boundary (workers < Worker on one side)
 // — it shapes the error text so logs and tests can tell schedules apart.
+//
+// In async mode there is no superstep: Step is matched against per-worker
+// wire-frame sequence numbers instead (each worker numbers the frames it
+// sends over the transport from 1), and the first Send carrying that seq
+// claims the fault. A StepFault at step S therefore fires on whichever
+// worker first flushes its S-th wire frame, exactly once.
 type StepFault struct {
 	Step   int
 	Kind   StepFaultKind
@@ -129,10 +135,9 @@ type scheduledExchange[M any] struct {
 }
 
 // scheduledFaultError renders the failing fault kinds (kill, drop,
-// partition) into their canonical error text; delay returns nil and the
-// caller sleeps. Shared between the strict wrapper (step = superstep) and
-// the async wrapper (step = frame flush sequence) so the chaos harness sees
-// identical error shapes from both modes.
+// partition) into the strict-mode error text (step = superstep); delay
+// returns nil and the caller sleeps. The async wrapper uses
+// asyncScheduledFaultError instead — same kinds, frame-seq wording.
 func scheduledFaultError(f StepFault, step int) error {
 	switch f.Kind {
 	case StepFaultKill:
@@ -141,6 +146,22 @@ func scheduledFaultError(f StepFault, step int) error {
 		return fmt.Errorf("%w: batch dropped at superstep %d, detected at barrier", ErrInjectedFault, step)
 	case StepFaultPartition:
 		return fmt.Errorf("%w: mesh partitioned at worker %d boundary, superstep %d", ErrInjectedFault, f.Worker, step)
+	}
+	return nil
+}
+
+// asyncScheduledFaultError is the async-plane renderer for the same fault
+// kinds. Async mode has no supersteps or barriers; schedules key on
+// per-worker wire-frame ordinals (see StepFault), so the text names the
+// frame seq to keep logs honest about what actually fired.
+func asyncScheduledFaultError(f StepFault, seq int) error {
+	switch f.Kind {
+	case StepFaultKill:
+		return fmt.Errorf("%w: worker %d killed at frame seq %d", ErrInjectedFault, f.Worker, seq)
+	case StepFaultDrop:
+		return fmt.Errorf("%w: frame dropped at seq %d", ErrInjectedFault, seq)
+	case StepFaultPartition:
+		return fmt.Errorf("%w: mesh partitioned at worker %d boundary, frame seq %d", ErrInjectedFault, f.Worker, seq)
 	}
 	return nil
 }

@@ -157,7 +157,8 @@ func newAsyncTransport[M any](ctx context.Context, f ExchangeFactory, workers in
 	case nil:
 		return localAsyncTransport[M]{h: h}, nil
 	case tcpFactory:
-		return newTCPAsyncTransport[M](ctx, workers, ff.cfg.withDefaults(), cfg.Observer, h)
+		compress := cfg.CompressFrames && messageIsWire[M]()
+		return newTCPAsyncTransport[M](ctx, workers, ff.cfg.withDefaults(), cfg.Observer, h, compress)
 	case faultyFactory:
 		inner, err := newAsyncTransport[M](ctx, ff.inner, workers, cfg, h)
 		if err != nil {
@@ -498,7 +499,7 @@ func (a *asyncAttempt[M]) checkpointPause(ctx context.Context) error {
 		wk.mu.Unlock()
 	}
 	ckStart := time.Now()
-	nbytes, err := saveSnapshot[M](a.cfg.CheckpointStore, a.stats.Supersteps, inboxes, a.stats, a.snapper)
+	nbytes, err := saveSnapshot[M](a.cfg.CheckpointStore, a.stats.Supersteps, flatInboxes(inboxes), a.stats, a.snapper)
 	if err != nil {
 		a.resumeAll()
 		return fmt.Errorf("bsp: checkpoint at quiescence point %d: %w", a.stats.Supersteps, err)
@@ -811,10 +812,13 @@ func runAsync[M any](ctx context.Context, cfg Config, prog Program[M], maxSteps 
 		if stats.Counters == nil {
 			stats.Counters = map[string]int64{}
 		}
-		queues = snap.Inboxes
-		if queues == nil {
-			queues = make([][]Envelope[M], k)
+		// A strict compressed run's snapshot keeps its inboxes grouped;
+		// rehydrate them into the async plane's flat queue form.
+		rows, err := snap.flatRows(k)
+		if err != nil {
+			return err
 		}
+		queues = rows
 		if snapper != nil {
 			if err := snapper.RestoreState(snap.Prog); err != nil {
 				return fmt.Errorf("bsp: restoring program state: %w", err)

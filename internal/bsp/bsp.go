@@ -107,6 +107,15 @@ type Config struct {
 	// values pipeline more aggressively at higher framing overhead. 0 means
 	// 256. Ignored in strict mode.
 	AsyncFlushEvery int
+	// CompressFrames front codes message batches (compress.go): batches are
+	// sorted by encoding and shipped as shared-prefix + suffix deltas, and in
+	// strict mode the per-worker inbox keeps them encoded until the run loop
+	// decodes them one bounded chunk at a time — trading barrier CPU for
+	// bytes on the wire and peak RSS. Requires *M to implement WireMessage
+	// (silently ignored otherwise); in async mode it compresses the wire but
+	// inboxes stay expanded (frames are consumed as they arrive); with the
+	// in-process async exchange there are no frames at all, so it is a no-op.
+	CompressFrames bool
 	// Observer receives the run's metrics and trace events (superstep
 	// timings, exchange volume, transport frames and bytes, checkpoint and
 	// recovery events). Nil disables observation entirely; every hook is a
@@ -245,8 +254,11 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 	if cfg.AsyncExchange {
 		return runAsync[M](ctx, cfg, prog, maxSteps)
 	}
+	// Compression needs the binary codec; types without WireMessage keep the
+	// flat gob path regardless of the flag.
+	compress := cfg.CompressFrames && messageIsWire[M]()
 	buildExchange := func() (Exchange[M], error) {
-		return newExchangeFromFactory[M](ctx, cfg.Exchange, cfg.Workers, cfg.Observer)
+		return newExchangeFromFactory[M](ctx, cfg.Exchange, cfg.Workers, cfg.Observer, compress)
 	}
 	exchange, err := buildExchange()
 	if err != nil {
@@ -264,9 +276,10 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 	}
 	stats := newStats()
 	var abortPtr atomic.Pointer[error]
-	inboxes := make([][]Envelope[M], k)
+	inboxes := make([]Inbox[M], k)
 	startStep := 0
 	snapper, _ := any(prog).(Snapshotter)
+	gprog, _ := any(prog).(GroupProgram[M])
 
 	restore := func(snap *snapshot[M]) error {
 		if len(snap.Stats.WorkerTime) != k || len(snap.Stats.WorkerMessages) != k {
@@ -279,10 +292,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 		if stats.Counters == nil {
 			stats.Counters = map[string]int64{}
 		}
-		inboxes = snap.Inboxes
-		if inboxes == nil {
-			inboxes = make([][]Envelope[M], k)
-		}
+		inboxes = snap.inboxRows(k)
 		if snapper != nil {
 			// Roll the program's own state (load accumulators, RNGs, …)
 			// back to the same barrier, keeping it exactly-once too.
@@ -344,23 +354,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 				if step == 0 {
 					prog.Init(ctx)
 				} else {
-				inbox:
-					for i, env := range inboxes[w] {
-						// An abort (or cancellation) short-circuits the rest
-						// of this worker's inbox instead of draining it.
-						if abortPtr.Load() != nil {
-							break
-						}
-						if i&255 == 0 {
-							select {
-							case <-done:
-								break inbox
-							default:
-							}
-						}
-						prog.Process(ctx, env)
-						processed++
-					}
+					processed = deliverInbox(ctx, prog, gprog, &inboxes[w], &abortPtr, done)
 				}
 				stepTimes[w] = time.Since(start)
 				outAll[w] = ctx.out
@@ -407,7 +401,7 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 			recoveries := stats.Recoveries
 			stats = newStats()
 			stats.Recoveries = recoveries
-			inboxes = make([][]Envelope[M], k)
+			inboxes = make([]Inbox[M], k)
 			if snapper != nil {
 				if err := snapper.RestoreState(nil); err != nil {
 					return 0, fmt.Errorf("resetting program state after step %d: %v (original failure: %w)", step, err, cause)
@@ -460,12 +454,22 @@ func RunContext[M any](ctx context.Context, cfg Config, prog Program[M]) (rstats
 			cancel()
 			return stats, nil
 		}
-		var next [][]Envelope[M]
+		var next []Inbox[M]
 		exStart := time.Now()
 		attempt := 0
 		exErr := withRetry(stepCtx, cfg.Retry, func() error {
 			attempt++
-			n, err := exchange.Exchange(stepCtx, step, outAll)
+			var n []Inbox[M]
+			var err error
+			if compress {
+				n, err = exchangeGrouped(stepCtx, exchange, step, outAll)
+			} else {
+				var flat [][]Envelope[M]
+				flat, err = exchange.Exchange(stepCtx, step, outAll)
+				if err == nil {
+					n = flatInboxes(flat)
+				}
+			}
 			if err == nil {
 				next = n
 				return nil

@@ -77,19 +77,72 @@ type CheckpointStore interface {
 
 // snapshot is the unit of checkpointing: the state of a run at the barrier
 // entering superstep Step. Prog is the opaque Snapshotter state of programs
-// that carry accumulators outside the inboxes (nil otherwise).
+// that carry accumulators outside the inboxes (nil otherwise). Frames[w]
+// holds worker w's still-encoded compressed frame payloads (compressed mode
+// only — snapshots of grouped queues stay grouped, so a checkpoint of a
+// dense superstep costs its compressed size); pre-compression snapshots
+// simply decode with Frames nil.
 type snapshot[M any] struct {
 	Step    int
 	Inboxes [][]Envelope[M]
 	Stats   RunStats
 	Prog    []byte
+	Frames  [][][]byte
+}
+
+// inboxRows converts the snapshot's persisted form back into the run loop's
+// grouped inboxes.
+func (snap *snapshot[M]) inboxRows(k int) []Inbox[M] {
+	rows := make([]Inbox[M], k)
+	for w := range rows {
+		if w < len(snap.Inboxes) {
+			rows[w].Envs = snap.Inboxes[w]
+		}
+		if w < len(snap.Frames) {
+			rows[w].Frames = snap.Frames[w]
+		}
+	}
+	return rows
+}
+
+// flatRows decodes the snapshot into plain per-worker envelope slices — the
+// async plane's queue form. A grouped frame that fails to decode surfaces as
+// ErrCorruptCheckpoint.
+func (snap *snapshot[M]) flatRows(k int) ([][]Envelope[M], error) {
+	rows := make([][]Envelope[M], k)
+	for w := range rows {
+		if w < len(snap.Inboxes) {
+			rows[w] = snap.Inboxes[w]
+		}
+		if w >= len(snap.Frames) {
+			continue
+		}
+		for i, fp := range snap.Frames[w] {
+			_, _, batch, err := DecodeCompressedFrame[M](fp)
+			if err != nil {
+				return nil, fmt.Errorf("%w: grouped inbox frame %d for worker %d: %v", ErrCorruptCheckpoint, i, w, err)
+			}
+			rows[w] = append(rows[w], batch...)
+		}
+	}
+	return rows, nil
 }
 
 // saveSnapshot encodes, seals, and stores the barrier state, returning the
 // number of bytes written to the store.
-func saveSnapshot[M any](store CheckpointStore, step int, inboxes [][]Envelope[M], stats *RunStats, snapper Snapshotter) (int, error) {
+func saveSnapshot[M any](store CheckpointStore, step int, inboxes []Inbox[M], stats *RunStats, snapper Snapshotter) (int, error) {
 	var buf bytes.Buffer
-	snap := snapshot[M]{Step: step, Inboxes: inboxes, Stats: *stats}
+	snap := snapshot[M]{Step: step, Stats: *stats}
+	snap.Inboxes = make([][]Envelope[M], len(inboxes))
+	for w := range inboxes {
+		snap.Inboxes[w] = inboxes[w].Envs
+		if len(inboxes[w].Frames) > 0 {
+			if snap.Frames == nil {
+				snap.Frames = make([][][]byte, len(inboxes))
+			}
+			snap.Frames[w] = inboxes[w].Frames
+		}
+	}
 	if snapper != nil {
 		prog, err := snapper.SnapshotState()
 		if err != nil {
@@ -123,6 +176,17 @@ func loadSnapshot[M any](store CheckpointStore) (*snapshot[M], error) {
 	// Gob omits zero-valued fields; re-materialize what restore expects.
 	if snap.Stats.Counters == nil {
 		snap.Stats.Counters = map[string]int64{}
+	}
+	// The CRC seal catches store-level damage; this catches a snapshot whose
+	// grouped frames are internally inconsistent (they would otherwise only
+	// fail deep inside a superstep, after the restore "succeeded").
+	for w := range snap.Frames {
+		for i, fp := range snap.Frames[w] {
+			if _, _, _, err := DecodeCompressedFrame[M](fp); err != nil {
+				return nil, fmt.Errorf("%w: snapshot for step %d: grouped inbox frame %d for worker %d: %v",
+					ErrCorruptCheckpoint, step, i, w, err)
+			}
+		}
 	}
 	return &snap, nil
 }

@@ -128,6 +128,25 @@ func (f *faultyExchange[M]) Exchange(ctx context.Context, step int, outAll [][][
 	return f.inner.Exchange(ctx, step, outAll)
 }
 
+// ExchangeGrouped forwards a grouped barrier with the same per-call fault
+// draw as Exchange, so compressed mode sees the identical fault schedule.
+func (f *faultyExchange[M]) ExchangeGrouped(ctx context.Context, step int, outAll [][][]Envelope[M]) ([]Inbox[M], error) {
+	fault, delay := f.state.draw(f.fc, step)
+	if fault != nil {
+		return nil, fault
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	return exchangeGrouped(ctx, f.inner, step, outAll)
+}
+
 func (f *faultyExchange[M]) Close() error { return f.inner.Close() }
 
 // faultRand is a tiny xorshift PRNG: deterministic, dependency-free, and

@@ -57,7 +57,7 @@ func TestTCPSetupCancelStopsAcceptLoopWithoutLeaks(t *testing.T) {
 
 	start := time.Now()
 	_, err = newExchangeFromFactory[int](ctx,
-		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3, o)
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3, o, false)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("canceled setup should error")
@@ -81,7 +81,7 @@ func TestTCPSetupPreCanceledContextFailsFast(t *testing.T) {
 	cancel()
 	base := runtime.NumGoroutine()
 	start := time.Now()
-	_, err := newExchangeFromFactory[int](ctx, NewTCPExchangeFactory(), 4, nil)
+	_, err := newExchangeFromFactory[int](ctx, NewTCPExchangeFactory(), 4, nil, false)
 	if err == nil {
 		t.Fatal("pre-canceled setup should error")
 	}
@@ -96,7 +96,7 @@ func TestTCPSetupPreCanceledContextFailsFast(t *testing.T) {
 // (the watchdog itself must not leak).
 func TestTCPSetupCompletesThenRunLeavesNoGoroutines(t *testing.T) {
 	base := runtime.NumGoroutine()
-	ex, err := newExchangeFromFactory[int](context.Background(), NewTCPExchangeFactory(), 3, nil)
+	ex, err := newExchangeFromFactory[int](context.Background(), NewTCPExchangeFactory(), 3, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -359,7 +359,7 @@ func TestRetryRecoversTransientFaults(t *testing.T) {
 func TestFaultScheduleIsDeterministic(t *testing.T) {
 	fc := FaultConfig{Seed: 99, ErrorRate: 0.3, DropRate: 0.2}
 	schedule := func() []bool {
-		ex, err := newExchangeFromFactory[int](context.Background(), NewFaultyExchangeFactory(nil, fc), 2, nil)
+		ex, err := newExchangeFromFactory[int](context.Background(), NewFaultyExchangeFactory(nil, fc), 2, nil, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -406,7 +406,7 @@ func TestTCPSetupFailedDialDoesNotDeadlock(t *testing.T) {
 
 	start := time.Now()
 	_, err := newExchangeFromFactory[int](context.Background(),
-		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3, nil)
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 60 * time.Second}), 3, nil, false)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("setup with a failed dial should error")
@@ -438,7 +438,7 @@ func TestTCPSetupTimesOutOnSilentPeer(t *testing.T) {
 
 	start := time.Now()
 	_, err = newExchangeFromFactory[int](context.Background(),
-		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 2 * time.Second}), 2, nil)
+		NewTCPExchangeFactoryWithConfig(TCPConfig{SetupTimeout: 2 * time.Second}), 2, nil, false)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("setup with a silent peer should time out")
@@ -457,7 +457,7 @@ func (pastDeadlineCtx) Deadline() (time.Time, bool) {
 }
 
 func TestTCPExchangeHonorsContextDeadlineOnFrames(t *testing.T) {
-	ex, err := newExchangeFromFactory[int](context.Background(), NewTCPExchangeFactory(), 2, nil)
+	ex, err := newExchangeFromFactory[int](context.Background(), NewTCPExchangeFactory(), 2, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +507,7 @@ func TestExchangeEquivalenceProperty(t *testing.T) {
 		}
 		var want [][]Envelope[int]
 		for _, fc := range factories {
-			ex, err := newExchangeFromFactory[int](context.Background(), fc.f, k, nil)
+			ex, err := newExchangeFromFactory[int](context.Background(), fc.f, k, nil, false)
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, fc.name, err)
 			}

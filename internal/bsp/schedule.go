@@ -184,4 +184,24 @@ func (s *scheduledExchange[M]) Exchange(ctx context.Context, step int, outAll []
 	return s.inner.Exchange(ctx, step, outAll)
 }
 
+// ExchangeGrouped forwards a grouped barrier with the same fire-once fault
+// schedule as Exchange, so compressed mode sees identical scheduled events.
+func (s *scheduledExchange[M]) ExchangeGrouped(ctx context.Context, step int, outAll [][][]Envelope[M]) ([]Inbox[M], error) {
+	if f, ok := s.state.next(step); ok {
+		if err := scheduledFaultError(f, step); err != nil {
+			return nil, err
+		}
+		if f.Kind == StepFaultDelay {
+			timer := time.NewTimer(f.Delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+	return exchangeGrouped(ctx, s.inner, step, outAll)
+}
+
 func (s *scheduledExchange[M]) Close() error { return s.inner.Close() }

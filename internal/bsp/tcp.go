@@ -68,20 +68,23 @@ type tcpFactory struct{ cfg TCPConfig }
 
 func (tcpFactory) kind() string { return "tcp" }
 
-func newExchangeFromFactory[M any](ctx context.Context, f ExchangeFactory, workers int, o *obs.Observer) (Exchange[M], error) {
+func newExchangeFromFactory[M any](ctx context.Context, f ExchangeFactory, workers int, o *obs.Observer, compress bool) (Exchange[M], error) {
 	switch ff := f.(type) {
 	case nil:
+		if compress && messageIsWire[M]() {
+			return compressedLocalExchange[M]{}, nil
+		}
 		return localExchange[M]{}, nil
 	case tcpFactory:
-		return newTCPExchange[M](ctx, workers, ff.cfg.withDefaults(), o)
+		return newTCPExchange[M](ctx, workers, ff.cfg.withDefaults(), o, compress)
 	case faultyFactory:
-		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o)
+		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o, compress)
 		if err != nil {
 			return nil, err
 		}
 		return newFaultyExchange[M](inner, ff.fc, ff.state), nil
 	case *ScheduledFaultFactory:
-		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o)
+		inner, err := newExchangeFromFactory[M](ctx, ff.inner, workers, o, compress)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +105,7 @@ type tcpExchange[M any] struct {
 	workers  int
 	cfg      TCPConfig
 	wire     bool // *M implements WireMessage: binary frames instead of gob
+	compress bool // front code wire frames (requires wire)
 	obs      *obs.Observer
 	listener net.Listener
 	// enc[src][dst] / dec[dst][src] wrap the K×K mesh in gob mode (nil on
@@ -139,15 +143,15 @@ func appendHandshake(dst []byte, src, dstW int) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(dstW))
 }
 
-func newTCPExchange[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer) (Exchange[M], error) {
-	return newTCPMesh[M](ctx, workers, cfg, o)
+func newTCPExchange[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer, compress bool) (Exchange[M], error) {
+	return newTCPMesh[M](ctx, workers, cfg, o, compress)
 }
 
 // newTCPMesh builds the K×K loopback connection mesh both TCP modes run on:
 // the strict barriered Exchange drives it frame-by-frame per superstep, and
 // the async transport (tcpasync.go) attaches persistent reader goroutines to
 // the same conns.
-func newTCPMesh[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer) (*tcpExchange[M], error) {
+func newTCPMesh[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer, compress bool) (*tcpExchange[M], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -158,7 +162,8 @@ func newTCPMesh[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.O
 	if err != nil {
 		return nil, fmt.Errorf("bsp: tcp exchange listen: %w", err)
 	}
-	ex := &tcpExchange[M]{workers: workers, cfg: cfg, wire: messageIsWire[M](), obs: o, listener: ln}
+	wire := messageIsWire[M]()
+	ex := &tcpExchange[M]{workers: workers, cfg: cfg, wire: wire, compress: compress && wire, obs: o, listener: ln}
 	ex.enc = make([][]*gob.Encoder, workers)
 	ex.dec = make([][]*gob.Decoder, workers)
 	ex.brIn = make([][]*bufio.Reader, workers)
@@ -379,12 +384,22 @@ func (ex *tcpExchange[M]) sendFrameAt(src, dst, step int, batch []Envelope[M], d
 		return nil
 	}
 	bp := getWireBuf(0)
-	*bp = AppendWireFrame(*bp, step, batch)
+	raw := 0
+	if ex.compress && len(batch) >= compressMinBatch {
+		// One compressed frame per send — never chunked here, because the
+		// async credit detector counts exactly one ack per transport send.
+		*bp, raw = appendCompressedFrames(*bp, step, batch, 0)
+	} else {
+		*bp = AppendWireFrame(*bp, step, batch)
+	}
 	n := len(*bp)
 	_, err := ex.connOut[src][dst].Write(*bp)
 	putWireBuf(bp)
 	if err == nil {
 		ex.obs.AddFrameSent(true, int64(n))
+		if raw > 0 {
+			ex.obs.AddCompressedFrame(int64(n), int64(raw))
+		}
 	}
 	return err
 }
@@ -407,7 +422,11 @@ func (ex *tcpExchange[M]) recvFrameAt(dst, src int, deadline time.Time) (int, []
 		ex.obs.AddFrameRecv(false, 0) // bytes counted by countingReader
 		return fr.Step, fr.Batch, nil
 	}
-	step, batch, n, err := readWireFrame[M](ex.brIn[dst][src])
+	step, more, batch, n, err := readFrame[M](ex.brIn[dst][src])
+	if err == nil && more {
+		// Continuation chunks only travel inside the grouped barrier path.
+		return 0, nil, fmt.Errorf("unexpected continuation frame")
+	}
 	if err == nil {
 		ex.obs.AddFrameRecv(true, int64(n))
 	}
@@ -469,6 +488,139 @@ func (ex *tcpExchange[M]) Exchange(ctx context.Context, step int, outAll [][][]E
 				buf = append(buf, batch...)
 			}
 			res[dst] = buf
+		}(dst)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// sendGroupedFrames writes one barrier batch as front-coded chunks (flat when
+// the batch is too small to pay for itself), staged in a pooled buffer and
+// written with a single syscall.
+func (ex *tcpExchange[M]) sendGroupedFrames(src, dst, step int, batch []Envelope[M]) error {
+	ex.connOut[src][dst].SetWriteDeadline(ex.frameDeadline)
+	bp := getWireBuf(0)
+	raw := 0
+	if len(batch) >= compressMinBatch {
+		*bp, raw = appendCompressedFrames(*bp, step, batch, compressedChunk)
+	} else {
+		*bp = AppendWireFrame(*bp, step, batch)
+	}
+	n := len(*bp)
+	_, err := ex.connOut[src][dst].Write(*bp)
+	putWireBuf(bp)
+	if err == nil {
+		ex.obs.AddFrameSent(true, int64(n))
+		if raw > 0 {
+			ex.obs.AddCompressedFrame(int64(n), int64(raw))
+		}
+	}
+	return err
+}
+
+// recvGroupedFrames reads one barrier batch into ib: compressed chunks are
+// retained encoded (the run loop decodes them lazily), a flat fallback frame
+// is decoded in place. The continuation bit drives the chunk loop.
+func (ex *tcpExchange[M]) recvGroupedFrames(dst, src, step int, ib *Inbox[M]) error {
+	for {
+		ex.connIn[dst][src].SetReadDeadline(ex.frameDeadline)
+		payload, n, err := readFramePayload(ex.brIn[dst][src])
+		if err != nil {
+			return err
+		}
+		ex.obs.AddFrameRecv(true, int64(n))
+		if !framePayloadIsCompressed(payload) {
+			frStep, batch, err := DecodeWireFrame[M](payload)
+			if err != nil {
+				return err
+			}
+			if frStep != step {
+				return fmt.Errorf("step skew %d != %d", frStep, step)
+			}
+			ib.Envs = append(ib.Envs, batch...)
+			return nil
+		}
+		word := binary.LittleEndian.Uint32(payload)
+		if frStep := int(word & compressedStepMask); frStep != step&compressedStepMask {
+			return fmt.Errorf("step skew %d != %d", frStep, step)
+		}
+		ib.Frames = append(ib.Frames, payload)
+		if word&continuationFlag == 0 {
+			return nil
+		}
+	}
+}
+
+// ExchangeGrouped is the compressed-mode barrier: batches travel front coded
+// and land in the inbox still encoded. Local (src == dst) batches skip the
+// network but are front coded all the same, so the inbox's peak-RSS bound
+// holds regardless of where a message came from.
+func (ex *tcpExchange[M]) ExchangeGrouped(ctx context.Context, step int, outAll [][][]Envelope[M]) ([]Inbox[M], error) {
+	if !ex.compress {
+		flat, err := ex.Exchange(ctx, step, outAll)
+		if err != nil {
+			return nil, err
+		}
+		return flatInboxes(flat), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := ex.workers
+	deadline := time.Now().Add(ex.cfg.FrameTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	ex.frameDeadline = deadline
+	res := make([]Inbox[M], k)
+	errs := make(chan error, 2*k)
+	var wg sync.WaitGroup
+
+	for src := 0; src < k; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < k; dst++ {
+				if dst == src {
+					continue
+				}
+				if err := ex.sendGroupedFrames(src, dst, step, outAll[src][dst]); err != nil {
+					errs <- fmt.Errorf("send %d->%d: %w", src, dst, err)
+					return
+				}
+			}
+		}(src)
+	}
+	// Receivers splice the local batch in at its source position, keeping the
+	// merged inbox order identical to the in-process grouped exchange's.
+	for dst := 0; dst < k; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			for src := 0; src < k; src++ {
+				if src == dst {
+					batch := outAll[dst][dst]
+					if len(batch) == 0 {
+						continue
+					}
+					if len(batch) < compressMinBatch {
+						res[dst].Envs = append(res[dst].Envs, batch...)
+						continue
+					}
+					frames, _ := compressBatch(step, batch, compressedChunk)
+					res[dst].Frames = append(res[dst].Frames, frames...)
+					continue
+				}
+				if err := ex.recvGroupedFrames(dst, src, step, &res[dst]); err != nil {
+					errs <- fmt.Errorf("recv %d<-%d: %w", dst, src, err)
+					return
+				}
+			}
 		}(dst)
 	}
 	wg.Wait()

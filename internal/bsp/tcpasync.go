@@ -32,8 +32,8 @@ type tcpAsyncTransport[M any] struct {
 	wg     sync.WaitGroup
 }
 
-func newTCPAsyncTransport[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer, h asyncHooks[M]) (asyncTransport[M], error) {
-	mesh, err := newTCPMesh[M](ctx, workers, cfg, o)
+func newTCPAsyncTransport[M any](ctx context.Context, workers int, cfg TCPConfig, o *obs.Observer, h asyncHooks[M], compress bool) (asyncTransport[M], error) {
+	mesh, err := newTCPMesh[M](ctx, workers, cfg, o, compress)
 	if err != nil {
 		return nil, err
 	}

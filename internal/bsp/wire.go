@@ -131,6 +131,70 @@ func readWireFrame[M any](r io.Reader) (step int, batch []Envelope[M], frameByte
 	return step, batch, 4 + n, err
 }
 
+// readFramePayload reads one length-prefixed frame payload from r into a
+// freshly allocated buffer the caller may retain — the grouped receive path
+// keeps compressed payloads encoded in the inbox. Length validation and the
+// incremental read for oversized claims mirror readWireFrame.
+func readFramePayload(r io.Reader) (payload []byte, frameBytes int, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < wireFrameHeader-4 || n > 1<<30 {
+		return nil, 0, fmt.Errorf("implausible frame length %d", n)
+	}
+	if n > maxEagerFrame {
+		buf, err := io.ReadAll(io.LimitReader(r, int64(n)))
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(buf) < n {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		return buf, 4 + n, nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, err
+	}
+	return buf, 4 + n, nil
+}
+
+// readFrame reads one length-prefixed frame from r and decodes it in either
+// format (flat or compressed, detected per frame). more reports a compressed
+// continuation bit; callers outside the grouped barrier receive path treat it
+// as a protocol error.
+func readFrame[M any](r io.Reader) (step int, more bool, batch []Envelope[M], frameBytes int, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, false, nil, 0, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < wireFrameHeader-4 || n > 1<<30 {
+		return 0, false, nil, 0, fmt.Errorf("implausible frame length %d", n)
+	}
+	if n > maxEagerFrame {
+		buf, err := io.ReadAll(io.LimitReader(r, int64(n)))
+		if err != nil {
+			return 0, false, nil, 0, err
+		}
+		if len(buf) < n {
+			return 0, false, nil, 0, io.ErrUnexpectedEOF
+		}
+		step, more, batch, err = DecodeFrame[M](buf)
+		return step, more, batch, 4 + n, err
+	}
+	bp := getWireBuf(n)
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		putWireBuf(bp)
+		return 0, false, nil, 0, err
+	}
+	step, more, batch, err = DecodeFrame[M](*bp)
+	putWireBuf(bp)
+	return step, more, batch, 4 + n, err
+}
+
 // DecodeWireFrame decodes a frame payload (everything after the length
 // prefix) into a fresh envelope slice. Exported for the hot-path
 // microbenchmarks and for custom exchanges.

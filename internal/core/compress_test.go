@@ -1,0 +1,280 @@
+package core
+
+// Differential battery for compressed frames (Options.CompressFrames): the
+// prefix-compressed wire codec, the grouped inbox, and group expansion must
+// be invisible to the enumeration — same embedding multisets as the
+// centralized oracle, same counts as flat mode, across strict and async
+// exchanges, local and TCP transports, and checkpoint recovery/resume.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"psgl/internal/bsp"
+	"psgl/internal/gen"
+	"psgl/internal/pattern"
+)
+
+// TestCompressedDifferentialOracleEmbeddings mirrors
+// TestDifferentialOracleEmbeddings with CompressFrames on, adding the async
+// axis: compressed × {strict, async} × {local, tcp} × every strategy × every
+// catalog pattern, with the full embedding multiset required to match the
+// centralized oracle exactly.
+func TestCompressedDifferentialOracleEmbeddings(t *testing.T) {
+	patterns := []*pattern.Pattern{
+		pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG4(), pattern.PG5(),
+	}
+	strategies := []Strategy{StrategyRandom, StrategyRoulette, StrategyWorkloadAware}
+	exchanges := []struct {
+		name    string
+		factory bsp.ExchangeFactory
+		workers int
+	}{
+		{"local", nil, 4},
+		{"tcp", bsp.NewTCPExchangeFactory(), 3},
+	}
+	modes := []struct {
+		name  string
+		async bool
+	}{
+		{"strict", false},
+		{"async", true},
+	}
+
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		g := gen.ChungLu(70, 300, 2.3, seed)
+		for _, p := range patterns {
+			want := oracleEmbeddings(p, g)
+			for _, strat := range strategies {
+				for _, ex := range exchanges {
+					for _, mode := range modes {
+						// The non-default corners are transport/mode plumbing, not
+						// strategy logic; in -short mode one strategy covers them.
+						if testing.Short() && (ex.name == "tcp" || mode.async) && strat != StrategyWorkloadAware {
+							continue
+						}
+						name := fmt.Sprintf("seed%d/%s/%s/%s/%s", seed, p.Name(), strat, ex.name, mode.name)
+						t.Run(name, func(t *testing.T) {
+							res, err := Run(g, p, Options{
+								Workers:        ex.workers,
+								Strategy:       strat,
+								Seed:           seed,
+								Collect:        true,
+								Exchange:       ex.factory,
+								AsyncExchange:  mode.async,
+								CompressFrames: true,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							got := make([]string, 0, len(res.Instances))
+							for _, inst := range res.Instances {
+								got = append(got, embeddingKey(inst))
+							}
+							sort.Strings(got)
+							if len(got) != len(want) {
+								t.Fatalf("%d embeddings, oracle has %d", len(got), len(want))
+							}
+							for i := range want {
+								if got[i] != want[i] {
+									t.Fatalf("embedding multiset diverges at #%d: engine %q, oracle %q", i, got[i], want[i])
+								}
+							}
+							if res.Count != int64(len(want)) {
+								t.Fatalf("Count = %d, %d embeddings collected", res.Count, len(want))
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedMatchesFlatStats pins the parts of Stats that compression
+// must not disturb — count, generated/processed Gpsis, supersteps — against
+// a flat-mode run, and proves the compressed machinery actually engaged:
+// frames were compressed, group expansion fired, and the raw (flat-
+// equivalent) byte count strictly exceeds the wire byte count on a dense
+// pattern.
+func TestCompressedMatchesFlatStats(t *testing.T) {
+	g := gen.ChungLu(70, 300, 2.3, 1)
+	for _, p := range []*pattern.Pattern{pattern.PG3(), pattern.PG5()} {
+		t.Run(p.Name(), func(t *testing.T) {
+			base := Options{Workers: 4, Seed: 1}
+			flat, err := Run(g, p, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := base
+			opts.CompressFrames = true
+			comp, err := Run(g, p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp.Count != flat.Count {
+				t.Fatalf("compressed counted %d, flat %d", comp.Count, flat.Count)
+			}
+			if comp.Stats.GpsiGenerated != flat.Stats.GpsiGenerated {
+				t.Fatalf("GpsiGenerated = %d, flat %d", comp.Stats.GpsiGenerated, flat.Stats.GpsiGenerated)
+			}
+			if comp.Stats.GpsiProcessed != flat.Stats.GpsiProcessed {
+				t.Fatalf("GpsiProcessed = %d, flat %d", comp.Stats.GpsiProcessed, flat.Stats.GpsiProcessed)
+			}
+			if comp.Stats.Supersteps != flat.Stats.Supersteps {
+				t.Fatalf("Supersteps = %d, flat %d", comp.Stats.Supersteps, flat.Stats.Supersteps)
+			}
+			cs := comp.Stats
+			if cs.CompressedFrames == 0 {
+				t.Fatal("CompressedFrames = 0: compression never engaged")
+			}
+			if cs.CompressedRawBytes <= cs.CompressedWireBytes {
+				t.Fatalf("no byte savings: wire %d B, raw %d B", cs.CompressedWireBytes, cs.CompressedRawBytes)
+			}
+			if cs.GroupRuns == 0 {
+				t.Fatal("GroupRuns = 0: group expansion never fired")
+			}
+			if cs.GroupMembers < 2*cs.GroupRuns {
+				t.Fatalf("GroupMembers = %d with %d runs: runs must cover ≥ 2 Gpsis each", cs.GroupMembers, cs.GroupRuns)
+			}
+			fs := flat.Stats
+			if fs.CompressedFrames != 0 || fs.GroupRuns != 0 {
+				t.Fatalf("flat run leaked compressed counters: %+v", fs)
+			}
+		})
+	}
+}
+
+// compressedCounterView is the slice of Stats that must be bit-identical
+// across clean, recovered, and resumed compressed runs: the logical
+// compression counters ride the barrier snapshots, so replayed supersteps
+// must not double-count.
+type compressedCounterView struct {
+	Count                                 int64
+	Frames, WireBytes, RawBytes           int64
+	GroupRuns, GroupMembers               int64
+	GpsiGenerated, GpsiProcessed, Results int64
+}
+
+func viewOf(r *Result) compressedCounterView {
+	return compressedCounterView{
+		Count:         r.Count,
+		Frames:        r.Stats.CompressedFrames,
+		WireBytes:     r.Stats.CompressedWireBytes,
+		RawBytes:      r.Stats.CompressedRawBytes,
+		GroupRuns:     r.Stats.GroupRuns,
+		GroupMembers:  r.Stats.GroupMembers,
+		GpsiGenerated: r.Stats.GpsiGenerated,
+		GpsiProcessed: r.Stats.GpsiProcessed,
+		Results:       r.Stats.Results,
+	}
+}
+
+// TestCompressedCountersMirrored reruns the recovery suite's scenarios with
+// CompressFrames on: a fault-recovered run (drops + errors absorbed by retry
+// and checkpoint restores) and a crash-then-resume pair must both reproduce
+// the clean run's compression counters exactly — not just the count.
+func TestCompressedCountersMirrored(t *testing.T) {
+	g := gen.ChungLu(70, 300, 2.3, 1)
+	p := pattern.PG3()
+	base := Options{Workers: 3, Seed: 1, CompressFrames: true}
+	clean, err := Run(g, p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := viewOf(clean)
+	if want.Frames == 0 || want.GroupRuns == 0 {
+		t.Fatalf("scenario too sparse to exercise compression: %+v", want)
+	}
+
+	t.Run("recovered", func(t *testing.T) {
+		opts := base
+		opts.Exchange = bsp.NewFaultyExchangeFactory(nil, bsp.FaultConfig{
+			Seed:      9,
+			ErrorRate: 0.35,
+			DropRate:  0.25,
+			FromStep:  1,
+		})
+		opts.Retry = bsp.RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}
+		opts.CheckpointEvery = 1
+		opts.CheckpointStore = bsp.NewMemCheckpointStore()
+		opts.MaxRecoveries = 100
+		res, err := Run(g, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := viewOf(res); got != want {
+			t.Fatalf("recovered counters diverged:\n got %+v\nwant %+v", got, want)
+		}
+	})
+
+	t.Run("resumed", func(t *testing.T) {
+		failStep := clean.Stats.Supersteps - 2
+		if failStep < 1 {
+			t.Fatalf("run too short to test resume: %d supersteps", clean.Stats.Supersteps)
+		}
+		store := bsp.NewMemCheckpointStore()
+		crashed := base
+		crashed.Exchange = bsp.NewFaultyExchangeFactory(nil, bsp.FaultConfig{
+			Seed: 5, ErrorRate: 1, FromStep: failStep, MaxFaults: 1,
+		})
+		crashed.CheckpointEvery = 1
+		crashed.CheckpointStore = store
+		if _, err := Run(g, p, crashed); !errors.Is(err, bsp.ErrInjectedFault) {
+			t.Fatalf("crashed run err = %v, want ErrInjectedFault", err)
+		}
+		resumed := base
+		resumed.ResumeFrom = store
+		res, err := Run(g, p, resumed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := viewOf(res); got != want {
+			t.Fatalf("resumed counters diverged:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}
+
+// TestCompressedWithEngineVariants sweeps compression against the engine's
+// other orthogonal modes — local expansion, disabled edge index, disabled
+// bitset AND, labeled matching — to pin that group expansion composes with
+// each (count parity with the same variant in flat mode).
+func TestCompressedWithEngineVariants(t *testing.T) {
+	g := gen.ChungLu(70, 300, 2.3, 2)
+	p := pattern.PG3()
+	variants := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"local_expansion", func(o *Options) { o.LocalExpansion = true }},
+		{"no_edge_index", func(o *Options) { o.DisableEdgeIndex = true }},
+		{"no_bitset_and", func(o *Options) { o.DisableBitsetAnd = true }},
+		{"max_intermediate_ok", func(o *Options) { o.MaxIntermediate = 1 << 30 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := Options{Workers: 4, Seed: 2}
+			v.mut(&base)
+			flat, err := Run(g, p, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := base
+			opts.CompressFrames = true
+			comp, err := Run(g, p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp.Count != flat.Count {
+				t.Fatalf("compressed counted %d, flat %d", comp.Count, flat.Count)
+			}
+		})
+	}
+}

@@ -77,6 +77,7 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 		MaxSupersteps:   opts.MaxSupersteps,
 		Exchange:        opts.Exchange,
 		AsyncExchange:   opts.AsyncExchange,
+		CompressFrames:  opts.CompressFrames,
 		StepTimeout:     opts.StepTimeout,
 		Retry:           opts.Retry,
 		CheckpointEvery: opts.CheckpointEvery,
@@ -174,6 +175,11 @@ type workerScratch struct {
 	grays   []int
 	weights []float64
 	emit    []graph.VertexID
+	// baseCands[k] is the hoisted candidate base for the k-th WHITE vertex of
+	// the group-expansion run in flight (ProcessGroup). Valid only between
+	// expandRun building it and the run's last member; nested inline
+	// expansions never touch it.
+	baseCands [maxPatternVertices][]graph.VertexID
 }
 
 func (s *workerScratch) push() *expandFrame {
@@ -272,6 +278,192 @@ func (e *engine) Init(ctx *bsp.Context[gpsi]) {
 // Process expands one partial subgraph instance (Algorithm 1).
 func (e *engine) Process(ctx *bsp.Context[gpsi], env bsp.Envelope[gpsi]) {
 	e.expand(ctx, env.Msg)
+}
+
+// ProcessGroup implements bsp.GroupProgram: in compressed mode each decoded
+// frame arrives whole, in the encoder's prefix-sorted order, so Gpsis
+// expanding the same data vertex at the same pattern vertex sit adjacent.
+// Maximal such runs share one hoisted candidate base (expandRun); singletons
+// take the ordinary expand path. The embedding multiset depends only on the
+// delivered messages — bit-identical to flat mode, which the compressed
+// differential suite pins — while the pruning-counter breakdown may differ
+// (shared pruning counts once per run, and runs never take the bitset path).
+func (e *engine) ProcessGroup(ctx *bsp.Context[gpsi], batch []bsp.Envelope[gpsi]) {
+	for i := 0; i < len(batch); {
+		if e.oomErr.Load() != nil || e.stopped.Load() {
+			return
+		}
+		j := i + 1
+		for j < len(batch) && sameExpansionGroup(&batch[i].Msg, &batch[j].Msg) {
+			j++
+		}
+		if j-i > 1 {
+			e.expandRun(ctx, batch[i:j])
+		} else {
+			e.expand(ctx, batch[i].Msg)
+		}
+		i = j
+	}
+}
+
+// sameExpansionGroup reports whether two Gpsis can share a candidate base:
+// same pattern size, same expansion point mapped to the same data vertex, and
+// the same set of mapped pattern vertices (hence the same WHITE neighbors).
+func sameExpansionGroup(a, b *gpsi) bool {
+	return a.N == b.N && a.Next == b.Next &&
+		a.Map[a.Next] == b.Map[b.Next] &&
+		a.mappedMask() == b.mappedMask()
+}
+
+// expandRun expands a run of Gpsis sharing an expansion group. The run-
+// invariant part of candidate generation — the expansion vertex's adjacency
+// filtered by degree and label — is computed once into the worker's baseCands
+// scratch; each member then refines it with its own injectivity, partial-order,
+// and edge-index filters (expandShared). Base construction stops at the first
+// empty base: every member dead-ends there, and refinement never looks past it.
+func (e *engine) expandRun(ctx *bsp.Context[gpsi], run []bsp.Envelope[gpsi]) {
+	first := &run[0].Msg
+	vp := int(first.Next)
+	vd := first.Map[vp]
+	sc := &e.scratch[ctx.Worker()]
+	var whites [maxPatternVertices]int
+	nw := 0
+	for _, wv := range e.p.Neighbors(vp) {
+		if !first.isMapped(wv) {
+			whites[nw] = wv
+			nw++
+		}
+	}
+	ctx.AddCounter("group_runs", 1)
+	ctx.AddCounter("group_members", int64(len(run)))
+	for k := 0; k < nw; k++ {
+		wv := whites[k]
+		minDeg := e.p.Degree(wv)
+		b := sc.baseCands[k][:0]
+		for _, d := range e.g.Neighbors(vd) {
+			if e.g.Degree(d) < minDeg {
+				ctx.AddCounter("pruned_degree", 1)
+				continue
+			}
+			if e.opts.DataLabels != nil && int(e.opts.DataLabels[d]) != e.p.Label(wv) {
+				ctx.AddCounter("pruned_label", 1)
+				continue
+			}
+			b = append(b, d)
+		}
+		sc.baseCands[k] = b
+		if len(b) == 0 {
+			break
+		}
+	}
+	for i := range run {
+		if e.oomErr.Load() != nil || e.stopped.Load() {
+			return
+		}
+		e.expandShared(ctx, run[i].Msg, whites[:nw])
+	}
+}
+
+// expandShared is expand with the degree/label candidate base hoisted by
+// expandRun: per-member filtering runs over sc.baseCands via refineCandidates
+// instead of re-walking the expansion vertex's adjacency. Always the merge
+// path — never the bitset AND — so the refined sets equal the flat merge
+// path's exactly.
+func (e *engine) expandShared(ctx *bsp.Context[gpsi], m gpsi, whites []int) {
+	ctx.AddCounter("processed", 1)
+	w := ctx.Worker()
+	vp := int(m.Next)
+	vd := m.Map[vp]
+	m.Expanded |= 1 << uint(vp)
+
+	for _, u := range e.p.Neighbors(vp) {
+		if !m.isMapped(u) {
+			continue
+		}
+		eid := e.edgeID[vp][u]
+		if m.Pending&(1<<uint(eid)) == 0 {
+			continue
+		}
+		if !e.bitmap.HasEdge(vd, m.Map[u]) {
+			ctx.AddCounter("pruned_verify", 1)
+			return
+		}
+		m.Pending &^= 1 << uint(eid)
+	}
+
+	sc := &e.scratch[w]
+	fr := sc.push()
+	defer sc.pop()
+	loadUnits := 1.0
+	for k, wv := range whites {
+		cand := e.refineCandidates(ctx, &m, vp, wv, sc.baseCands[k], fr.cands[fr.nw][:0])
+		fr.cands[fr.nw] = cand
+		if len(cand) == 0 {
+			return // dead end: this Gpsi leads to no instance
+		}
+		fr.whites[fr.nw] = wv
+		fr.nw++
+		loadUnits *= float64(len(cand))
+	}
+	e.loads[w] += loadUnits
+	for len(e.stepLoads[w]) <= ctx.Step() {
+		e.stepLoads[w] = append(e.stepLoads[w], 0)
+	}
+	e.stepLoads[w][ctx.Step()] += loadUnits
+
+	preMapped := uint16(0)
+	for u := 0; u < e.p.N(); u++ {
+		if m.isMapped(u) {
+			preMapped |= 1 << uint(u)
+		}
+	}
+	e.combine(ctx, &m, vp, preMapped, fr.whites[:fr.nw], fr.cands[:fr.nw], 0)
+}
+
+// refineCandidates applies the per-member half of Algorithm 5 — injectivity,
+// the partial-order filter, and the light-weight edge index — to a hoisted
+// base that already passed the degree and label filters. It mirrors the merge
+// path of candidates exactly, minus the filters the base absorbed.
+func (e *engine) refineCandidates(ctx *bsp.Context[gpsi], m *gpsi, vp, wv int, base []graph.VertexID, out []graph.VertexID) []graph.VertexID {
+	for _, d := range base {
+		if m.uses(d) {
+			ctx.AddCounter("pruned_injective", 1)
+			continue
+		}
+		ok := true
+		for u := 0; u < e.p.N() && ok; u++ {
+			if u == wv || !m.isMapped(u) {
+				continue
+			}
+			if e.p.MustPrecede(wv, u) && !e.ord.Less(d, m.Map[u]) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			} else if e.p.MustPrecede(u, wv) && !e.ord.Less(m.Map[u], d) {
+				ctx.AddCounter("pruned_order", 1)
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		if e.ix != nil {
+			for _, u := range e.p.Neighbors(wv) {
+				if u == vp || !m.isMapped(u) {
+					continue
+				}
+				ctx.AddCounter("index_queries", 1)
+				if !e.ix.MayHaveEdge(d, m.Map[u]) {
+					ctx.AddCounter("pruned_index", 1)
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func (e *engine) expand(ctx *bsp.Context[gpsi], m gpsi) {
@@ -741,6 +933,11 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 		PrunedByLabel:       rs.Counters["pruned_label"],
 		EdgeIndexQueries:    rs.Counters["index_queries"],
 		BitsetAndCandidates: rs.Counters["bitset_and"],
+		CompressedFrames:    rs.Counters["compressed_frames"],
+		CompressedWireBytes: rs.Counters["compressed_wire_bytes"],
+		CompressedRawBytes:  rs.Counters["compressed_raw_bytes"],
+		GroupRuns:           rs.Counters["group_runs"],
+		GroupMembers:        rs.Counters["group_members"],
 		Results:             rs.Counters["results"],
 		InitialVertex:       e.initial,
 		Recoveries:          rs.Recoveries,

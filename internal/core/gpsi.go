@@ -66,6 +66,17 @@ func (m *gpsi) isComplete() bool {
 	return true
 }
 
+// mappedMask is the bitmask of mapped pattern vertices (BLACK and GRAY).
+func (m *gpsi) mappedMask() uint16 {
+	mask := uint16(0)
+	for v := 0; v < int(m.N); v++ {
+		if m.Map[v] != unmapped {
+			mask |= 1 << uint(v)
+		}
+	}
+	return mask
+}
+
 // uses reports whether data vertex d already appears in the mapping
 // (instances are injective).
 func (m *gpsi) uses(d graph.VertexID) bool {
@@ -124,4 +135,68 @@ func (m *gpsi) DecodeWire(src []byte) ([]byte, error) {
 		m.Map[i] = unmapped
 	}
 	return src[need:], nil
+}
+
+// Group codec: gpsi also implements bsp.GroupWireMessage, the grouping-friendly
+// layout of compressed frames. The map goes first — Gpsis fanned out from one
+// parent share their whole mapped prefix, so front coding against the sorted
+// batch collapses it to a few suffix bytes — and the volatile trailer
+// (Expanded, Pending, Next) goes last. Layout: N, then N 4-byte little-endian
+// map entries, then Expanded (2), Pending (4), Next (1) — 8+4N bytes, the same
+// size as the flat codec, and canonical: equal encodings iff equal messages.
+
+// AppendGroupWire implements bsp.GroupWireMessage.
+func (m *gpsi) AppendGroupWire(dst []byte) []byte {
+	dst = append(dst, byte(m.N))
+	for _, d := range m.Map[:m.N] {
+		u := uint32(d)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return append(dst,
+		byte(m.Expanded), byte(m.Expanded>>8),
+		byte(m.Pending), byte(m.Pending>>8), byte(m.Pending>>16), byte(m.Pending>>24),
+		byte(m.Next),
+	)
+}
+
+// DecodeGroupWire implements bsp.GroupWireMessage: src holds exactly one group
+// encoding. When shared > 0 the receiver is pre-seeded with the previously
+// decoded message whose encoding equals src[:shared], so map entries fully
+// inside the shared prefix — and the unmapped tail — are inherited instead of
+// re-parsed; the volatile trailer is always re-read.
+func (m *gpsi) DecodeGroupWire(src []byte, shared int) error {
+	if len(src) < 1 {
+		return fmt.Errorf("gpsi group wire: empty encoding")
+	}
+	n := int(src[0])
+	if n < 1 || n > maxPatternVertices {
+		return fmt.Errorf("gpsi group wire: pattern size %d out of range", n)
+	}
+	if len(src) != 1+4*n+7 {
+		return fmt.Errorf("gpsi group wire: %d bytes for pattern size %d (want %d)", len(src), n, 1+4*n+7)
+	}
+	m.N = int8(n)
+	// Map entry i occupies bytes [1+4i, 5+4i): entries with 5+4i <= shared are
+	// bit-identical in the seed, so re-parsing starts at (shared-1)/4.
+	i0 := 0
+	if shared > 0 {
+		i0 = (shared - 1) / 4
+		if i0 > n {
+			i0 = n
+		}
+	}
+	for i := i0; i < n; i++ {
+		o := 1 + 4*i
+		m.Map[i] = graph.VertexID(uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16 | uint32(src[o+3])<<24)
+	}
+	if shared == 0 {
+		for i := n; i < maxPatternVertices; i++ {
+			m.Map[i] = unmapped
+		}
+	}
+	o := 1 + 4*n
+	m.Expanded = uint16(src[o]) | uint16(src[o+1])<<8
+	m.Pending = uint32(src[o+2]) | uint32(src[o+3])<<8 | uint32(src[o+4])<<16 | uint32(src[o+5])<<24
+	m.Next = int8(src[o+6])
+	return nil
 }

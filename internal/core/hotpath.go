@@ -39,6 +39,8 @@ func HotpathBenchmarks() []HotpathBenchmark {
 		{"gpsi-wire-roundtrip", benchmarkGpsiWireRoundTrip},
 		{"frame-wire-roundtrip", benchmarkFrameWire},
 		{"frame-gob-roundtrip", benchmarkFrameGob},
+		{"frame-flat-dense", benchmarkFrameDense(false)},
+		{"frame-compressed-dense", benchmarkFrameDense(true)},
 		{"e2e-strict-barrier", benchmarkStragglerExchange(false)},
 		{"e2e-async-pipelined", benchmarkStragglerExchange(true)},
 	}
@@ -285,6 +287,111 @@ func benchmarkGpsiWireRoundTrip(b *testing.B) {
 func hotpathBatch() ([]bsp.Envelope[gpsi], error) {
 	_, _, inbox, err := newHotpathHarness(pattern.PG2(), StrategyWorkloadAware)
 	return inbox, err
+}
+
+// hotpathLevelBatch builds worker 0's per-destination exchange batch at
+// superstep `depth` for pattern p: Init seeds level 0, then each level's
+// worker-0 inbox is expanded to produce the next. Deeper batches carry more
+// mapped vertices per Gpsi — the longer shared prefixes the compressed codec
+// front-codes away.
+func hotpathLevelBatch(p *pattern.Pattern, depth int) ([]bsp.Envelope[gpsi], error) {
+	e, _, inbox, err := newHotpathHarness(p, StrategyWorkloadAware)
+	if err != nil {
+		return nil, err
+	}
+	cfg := bsp.Config{
+		Workers: e.opts.Workers,
+		Owner:   func(v graph.VertexID) int { return e.part.Owner(v) },
+	}
+	cur := inbox
+	for step := 1; step <= depth; step++ {
+		ctx := bsp.NewBenchContext[gpsi](cfg, 0, step)
+		for _, env := range cur {
+			e.Process(ctx, env)
+		}
+		cur = append([]bsp.Envelope[gpsi](nil), ctx.Sends(0)...)
+		if len(cur) == 0 {
+			return nil, fmt.Errorf("hotpath harness: no level-%d messages for worker 0 (%s)", step, p.Name())
+		}
+	}
+	return cur, nil
+}
+
+// CompressedBytesMeasure compares the flat and prefix-compressed encodings
+// of the same per-destination exchange batch — the bytes-on-wire axis of the
+// compressed-frames acceptance (≥1.5x on a dense pattern, no sparse
+// regression).
+type CompressedBytesMeasure struct {
+	Pattern         string  `json:"pattern"`
+	Level           int     `json:"level"`
+	Envelopes       int     `json:"envelopes"`
+	FlatBytes       int     `json:"flat_bytes"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+}
+
+// HotpathCompressedBytes measures flat-vs-compressed frame sizes on the
+// sparse Init batch (PG1) and on dense second/third-level batches (PG3,
+// PG5) of the hot-path harness graph.
+func HotpathCompressedBytes() ([]CompressedBytesMeasure, error) {
+	cases := []struct {
+		p     *pattern.Pattern
+		level int
+	}{
+		{pattern.PG1(), 0},
+		{pattern.PG3(), 2},
+		{pattern.PG5(), 3},
+	}
+	var out []CompressedBytesMeasure
+	for _, c := range cases {
+		batch, err := hotpathLevelBatch(c.p, c.level)
+		if err != nil {
+			return nil, err
+		}
+		flat := len(bsp.AppendWireFrame(nil, 1, batch))
+		comp := len(bsp.AppendCompressedFrame(nil, 1, batch))
+		out = append(out, CompressedBytesMeasure{
+			Pattern:         c.p.Name(),
+			Level:           c.level,
+			Envelopes:       len(batch),
+			FlatBytes:       flat,
+			CompressedBytes: comp,
+			Ratio:           float64(flat) / float64(comp),
+		})
+	}
+	return out, nil
+}
+
+// benchmarkFrameDense round-trips worker 0's dense second-level PG3 batch
+// through the flat (compressed=false) or prefix-compressed (true) frame
+// codec — the new hot-path pair the compressed-frames acceptance tracks.
+func benchmarkFrameDense(compressed bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		batch, err := hotpathLevelBatch(pattern.PG3(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf []byte
+		if compressed {
+			buf = bsp.AppendCompressedFrame(nil, 1, batch)
+		} else {
+			buf = bsp.AppendWireFrame(nil, 1, batch)
+		}
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if compressed {
+				buf = bsp.AppendCompressedFrame(buf[:0], 1, batch)
+			} else {
+				buf = bsp.AppendWireFrame(buf[:0], 1, batch)
+			}
+			_, _, out, err := bsp.DecodeFrame[gpsi](buf[4:])
+			if err != nil || len(out) != len(batch) {
+				b.Fatalf("decode: %d envelopes, err %v", len(out), err)
+			}
+		}
+	}
 }
 
 func benchmarkFrameWire(b *testing.B) {

@@ -143,6 +143,16 @@ type Options struct {
 	// may differ between modes. StepTimeout does not apply in async mode,
 	// and checkpoints snapshot at quiescence points instead of barriers.
 	AsyncExchange bool
+	// CompressFrames front-codes Gpsi batches: messages sharing a mapped-vertex
+	// prefix are sorted and shipped as prefix-compressed frames, kept encoded
+	// in the inbox until expansion, and expanded group-wise (candidate bases
+	// hoisted across messages sharing an expansion point). Counts are
+	// bit-identical to flat mode — the differential suites pin it — but the
+	// pruning-counter breakdown may differ (shared work is counted once, and
+	// group expansion always takes the merge path). In async mode only the TCP
+	// wire format changes (batches are never held encoded); with an in-process
+	// async exchange it is a no-op.
+	CompressFrames bool
 
 	// Fault tolerance (mirrors the Giraph substrate's barrier-aligned
 	// checkpointing, Section 6). Counts and counters are exact across
@@ -230,6 +240,19 @@ type Stats struct {
 	// BitsetAndCandidates counts candidate generations served by the bitset
 	// AND fast path (hub × hub row intersections) instead of the merge path.
 	BitsetAndCandidates int64
+	// Compressed-mode counters (zero with CompressFrames off). Logical views
+	// fed when frames are decoded: in strict mode they roll back with barrier
+	// snapshots and come out exactly-once — bit-identical across clean,
+	// recovered, and resumed runs. In async mode batches are never held
+	// encoded, so these stay zero; the transport-level compression ratio is on
+	// the Observer instead.
+	CompressedFrames    int64
+	CompressedWireBytes int64
+	CompressedRawBytes  int64
+	// GroupRuns counts group expansions (runs of ≥ 2 Gpsis sharing a hoisted
+	// candidate base); GroupMembers counts the Gpsis they covered.
+	GroupRuns    int64
+	GroupMembers int64
 	// Results is the number of instances found.
 	Results int64
 	// InitialVertex is the pattern vertex the run started from.

@@ -30,6 +30,10 @@ type HotpathReport struct {
 	// exchange batch under the two codecs.
 	FrameWireBytes int `json:"frame_wire_bytes"`
 	FrameGobBytes  int `json:"frame_gob_bytes"`
+	// CompressedFrames compares flat vs prefix-compressed encodings of the
+	// same per-destination batch, per pattern and exchange depth: the
+	// bytes-on-wire acceptance axis of Options.CompressFrames.
+	CompressedFrames []core.CompressedBytesMeasure `json:"compressed_frames"`
 }
 
 func runHotpath() (*HotpathReport, error) {
@@ -55,6 +59,11 @@ func runHotpath() (*HotpathReport, error) {
 	}
 	rep.FrameWireBytes = wire
 	rep.FrameGobBytes = gob
+	cb, err := core.HotpathCompressedBytes()
+	if err != nil {
+		return nil, err
+	}
+	rep.CompressedFrames = cb
 	return rep, nil
 }
 
@@ -76,6 +85,10 @@ func Hotpath() string {
 	r.note("same batch encoded: wire %dB vs gob %dB (%.0f%% of gob)",
 		rep.FrameWireBytes, rep.FrameGobBytes,
 		100*float64(rep.FrameWireBytes)/float64(rep.FrameGobBytes))
+	for _, c := range rep.CompressedFrames {
+		r.note("compressed frames %s level %d: %d envelopes, flat %dB vs compressed %dB (%.2fx)",
+			c.Pattern, c.Level, c.Envelopes, c.FlatBytes, c.CompressedBytes, c.Ratio)
+	}
 	return r.String()
 }
 

@@ -223,6 +223,14 @@ type Observer struct {
 	bytesSent      atomic.Int64
 	bytesRecv      atomic.Int64
 
+	// Physical compression counters: exact bytes written for front-coded
+	// frame trains vs what the same batches would have cost flat. Monotonic
+	// (replays included); the logical exactly-once mirror lives in the
+	// engine's compressed_* RunStats counters.
+	compressedFrames   atomic.Int64
+	compressedBytes    atomic.Int64
+	compressedRawBytes atomic.Int64
+
 	// Physical fault-layer counters.
 	retries         atomic.Int64
 	checkpointSaves atomic.Int64
@@ -486,6 +494,18 @@ func (o *Observer) AddFrameRecv(wire bool, bytes int64) {
 		o.gobFramesRecv.Add(1)
 	}
 	o.bytesRecv.Add(bytes)
+}
+
+// AddCompressedFrame counts one front-coded send: the bytes the frame train
+// actually put on the wire and the flat-equivalent bytes the same batch would
+// have cost. Their ratio is the exact wire-level compression ratio.
+func (o *Observer) AddCompressedFrame(wireBytes, rawBytes int64) {
+	if o == nil {
+		return
+	}
+	o.compressedFrames.Add(1)
+	o.compressedBytes.Add(wireBytes)
+	o.compressedRawBytes.Add(rawBytes)
 }
 
 // AddBytesSent counts raw outbound bytes (the gob path's counting writers).

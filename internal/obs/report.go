@@ -23,6 +23,13 @@ type Snapshot struct {
 	BytesSent      int64 `json:"bytes_sent"`
 	BytesRecv      int64 `json:"bytes_recv"`
 
+	// Physical compression counters (monotonic; replays included). The ratio
+	// CompressedRawBytes/CompressedBytes is the exact wire-level compression
+	// ratio over every front-coded frame train sent.
+	CompressedFrames   int64 `json:"compressed_frames"`
+	CompressedBytes    int64 `json:"compressed_bytes"`
+	CompressedRawBytes int64 `json:"compressed_raw_bytes"`
+
 	// Physical fault-layer counters (monotonic).
 	Retries            int64         `json:"retries"`
 	CheckpointSaves    int64         `json:"checkpoint_saves"`
@@ -81,6 +88,9 @@ func (o *Observer) Snapshot() Snapshot {
 		GobFramesRecv:      o.gobFramesRecv.Load(),
 		BytesSent:          o.bytesSent.Load(),
 		BytesRecv:          o.bytesRecv.Load(),
+		CompressedFrames:   o.compressedFrames.Load(),
+		CompressedBytes:    o.compressedBytes.Load(),
+		CompressedRawBytes: o.compressedRawBytes.Load(),
 		Retries:            o.retries.Load(),
 		CheckpointSaves:    o.checkpointSaves.Load(),
 		CheckpointBytes:    o.checkpointBytes.Load(),
@@ -154,6 +164,14 @@ func (o *Observer) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "transport: sent %d B / recv %d B; frames sent wire=%d gob=%d, recv wire=%d gob=%d\n",
 			s.BytesSent, s.BytesRecv, s.WireFramesSent, s.GobFramesSent,
 			s.WireFramesRecv, s.GobFramesRecv)
+	}
+	if s.CompressedFrames > 0 {
+		ratio := 0.0
+		if s.CompressedBytes > 0 {
+			ratio = float64(s.CompressedRawBytes) / float64(s.CompressedBytes)
+		}
+		fmt.Fprintf(w, "compression: %d frame trains, %d B wire vs %d B flat (%.2fx)\n",
+			s.CompressedFrames, s.CompressedBytes, s.CompressedRawBytes, ratio)
 	}
 	if s.CheckpointSaves > 0 {
 		fmt.Fprintf(w, "checkpoints: %d saves, %d B total, %v encode+store\n",

@@ -1,0 +1,107 @@
+package serve
+
+// Serving-tier coverage for Config.CompressFrames: compressed local queries
+// answer identically to flat ones, and /stats aggregates the compression
+// ratio across completed queries.
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCompressedQueriesMatchFlatAndReportStats(t *testing.T) {
+	g := testGraph(t)
+
+	var flat struct {
+		Count int64 `json:"count"`
+	}
+	_, tsFlat := newTestServer(t, g, Config{MaxInFlight: 2})
+	if code := getJSON(t, tsFlat.URL+"/query?pattern=pg3&count_only=1", &flat); code != 200 {
+		t.Fatalf("flat query status %d", code)
+	}
+
+	s, ts := newTestServer(t, g, Config{MaxInFlight: 2, CompressFrames: true})
+	var comp struct {
+		Count int64 `json:"count"`
+	}
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, ts.URL+"/query?pattern=pg3&count_only=1", &comp); code != 200 {
+			t.Fatalf("compressed query %d status %d", i, code)
+		}
+		if comp.Count != flat.Count {
+			t.Fatalf("compressed count %d, flat %d", comp.Count, flat.Count)
+		}
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("/stats status %d", code)
+	}
+	c := stats.Compression
+	if c.Frames == 0 {
+		t.Fatal("/stats compression.frames = 0 after compressed queries")
+	}
+	if c.RawBytes <= c.WireBytes {
+		t.Fatalf("no savings reported: wire %d B, raw %d B", c.WireBytes, c.RawBytes)
+	}
+	if c.Ratio <= 1 {
+		t.Fatalf("compression ratio %.3f, want > 1", c.Ratio)
+	}
+	// Two identical queries fold in twice — the aggregate is cumulative.
+	if got := s.Stats().Compression.Frames; got != c.Frames || got%2 != 0 {
+		t.Fatalf("cumulative frames %d (http saw %d), want an even total", got, c.Frames)
+	}
+
+	// Flat-mode servers must report all zeros.
+	var flatStats StatsResponse
+	if code := getJSON(t, tsFlat.URL+"/stats", &flatStats); code != 200 {
+		t.Fatalf("flat /stats status %d", code)
+	}
+	if fc := flatStats.Compression; fc.Frames != 0 || fc.Ratio != 0 {
+		t.Fatalf("flat server leaked compression stats: %+v", fc)
+	}
+}
+
+func TestCompressedStreamQueryMatchesFlat(t *testing.T) {
+	g := testGraph(t)
+	count := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		n := 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		sawDone := false
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, `"embedding"`) {
+				n++
+			}
+			if strings.Contains(line, `"done":true`) {
+				sawDone = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if !sawDone {
+			t.Fatal("stream ended without a done trailer")
+		}
+		return n
+	}
+	_, tsFlat := newTestServer(t, g, Config{MaxInFlight: 2})
+	_, tsComp := newTestServer(t, g, Config{MaxInFlight: 2, CompressFrames: true})
+	nf := count(tsFlat.URL + "/query?pattern=triangle")
+	nc := count(tsComp.URL + "/query?pattern=triangle")
+	if nf != nc || nf == 0 {
+		t.Fatalf("stream embeddings: flat %d, compressed %d", nf, nc)
+	}
+}

@@ -88,6 +88,11 @@ type Config struct {
 	// different prefix. Checkpoints, when enabled, snapshot at quiescence
 	// points.
 	AsyncExchange bool
+	// CompressFrames front-codes Gpsi batches on local queries: sorted
+	// prefix-compressed frames on the wire, grouped inboxes, and group-wise
+	// expansion. Counts are identical to flat mode; the compression ratio
+	// shows up in /stats under the observer's compressed_* counters.
+	CompressFrames bool
 	// Plane, when non-nil, turns the server into the coordinator of a
 	// remote worker plane: queries are dispatched to registered psgl-worker
 	// processes instead of running in-process, and below Plane.Quorum the
@@ -154,6 +159,12 @@ type Server struct {
 	failed           atomic.Int64
 	embeddingsSent   atomic.Int64
 	queryRetries     atomic.Int64
+
+	// Cumulative compressed-frame counters across completed local queries
+	// (zero unless CompressFrames is on), for the /stats compression ratio.
+	compFrames    atomic.Int64
+	compWireBytes atomic.Int64
+	compRawBytes  atomic.Int64
 
 	// hookQueryAdmitted, when non-nil, runs while the query holds an
 	// execution slot, before the engine starts — a test seam for pinning
@@ -409,6 +420,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts.InitialVertex = plan.InitialVertex
 	opts.Exchange = s.testExchange
 	opts.AsyncExchange = s.cfg.AsyncExchange
+	opts.CompressFrames = s.cfg.CompressFrames
 	if s.cfg.CheckpointEvery > 0 {
 		opts.CheckpointEvery = s.cfg.CheckpointEvery
 		opts.CheckpointStore = bsp.NewMemCheckpointStore()
@@ -458,6 +470,7 @@ func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, plan *Pl
 		return
 	}
 	s.completed.Add(1)
+	s.addCompression(&res.Stats)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(countResponse{
 		TraceID:   traceID,
@@ -531,6 +544,7 @@ func (s *Server) serveStream(ctx context.Context, w http.ResponseWriter, plan *P
 		trailer.Error = err.Error()
 	default:
 		s.completed.Add(1)
+		s.addCompression(&res.Stats)
 		trailer.Truncated = res.Truncated
 	}
 	s.embeddingsSent.Add(n)
@@ -579,6 +593,15 @@ type StatsResponse struct {
 		EmbeddingsSent   int64 `json:"embeddings_sent"`
 		Retries          int64 `json:"retries"`
 	} `json:"queries"`
+	// Compression aggregates the compressed-frame counters of completed
+	// local queries (all zero unless Config.CompressFrames): Ratio is
+	// raw-bytes / wire-bytes, i.e. how much the front-coding saved.
+	Compression struct {
+		Frames    int64   `json:"frames"`
+		WireBytes int64   `json:"wire_bytes"`
+		RawBytes  int64   `json:"raw_bytes"`
+		Ratio     float64 `json:"ratio"`
+	} `json:"compression"`
 	// Census reports the motif-census verb's caches: queries served, per-k
 	// result-cache hits, and the canonical-form memo cache hit rate.
 	Census CensusStats `json:"census"`
@@ -604,12 +627,29 @@ func (s *Server) Stats() StatsResponse {
 	sr.Queries.Failed = s.failed.Load()
 	sr.Queries.EmbeddingsSent = s.embeddingsSent.Load()
 	sr.Queries.Retries = s.queryRetries.Load()
+	sr.Compression.Frames = s.compFrames.Load()
+	sr.Compression.WireBytes = s.compWireBytes.Load()
+	sr.Compression.RawBytes = s.compRawBytes.Load()
+	if sr.Compression.WireBytes > 0 {
+		sr.Compression.Ratio = float64(sr.Compression.RawBytes) / float64(sr.Compression.WireBytes)
+	}
 	sr.Census = s.census.stats()
 	if s.plane != nil {
 		sr.Plane = s.plane.stats()
 	}
 	sr.Draining = s.Draining()
 	return sr
+}
+
+// addCompression folds one completed query's compressed-frame counters into
+// the /stats aggregates (no-ops on flat-mode runs, whose counters are zero).
+func (s *Server) addCompression(st *core.Stats) {
+	if st.CompressedFrames == 0 {
+		return
+	}
+	s.compFrames.Add(st.CompressedFrames)
+	s.compWireBytes.Add(st.CompressedWireBytes)
+	s.compRawBytes.Add(st.CompressedRawBytes)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -7,7 +7,7 @@
 //
 // where <experiment> is one of: datasets, property1, fig3, fig5, fig6,
 // table2, fig7, table3, table4, fig8, makespan, hotpath, serve, chaos,
-// census, or all.
+// census, update, or all.
 //
 // `psgl-bench hotpath` additionally writes the machine-readable baseline to
 // BENCH_hotpath.json in the current directory; `psgl-bench serve` does the
@@ -20,6 +20,9 @@
 // `psgl-bench census` sweeps the ESU motif-census engine (k=3,4 over two
 // power-law graphs, single-worker cold cache then all-core warm cache) and
 // writes BENCH_census.json (subgraph throughput and canon-cache hit rates).
+// `psgl-bench update` streams small mutation batches through the dynamic-graph
+// path, verifies the maintenance identity per batch, and writes
+// BENCH_update.json (updates/sec and the delta-vs-full-rerun speedup).
 //
 // Observability: `psgl-bench -trace out.jsonl <experiment>` attaches an
 // observer to every PSgL run the experiment performs, writes the JSONL event
@@ -54,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr = fs.String("pprof-addr", "", `serve net/http/pprof + expvar counters on this address (e.g. "localhost:6060")`)
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|chaos|census|all>")
+		fmt.Fprintln(stderr, "usage: psgl-bench [flags] <datasets|property1|fig3|fig5|fig6|table2|fig7|table3|table4|fig8|makespan|hotpath|serve|chaos|census|update|all>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +148,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "baseline written to BENCH_census.json")
+	}
+	if name == "update" {
+		data, err := experiments.UpdateJSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile("BENCH_update.json", data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "baseline written to BENCH_update.json")
 	}
 	fmt.Fprintf(stdout, "(experiment %s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
 	return 0

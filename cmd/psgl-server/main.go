@@ -13,6 +13,11 @@
 //	curl 'localhost:8080/query?pattern=cycle(4)&limit=10'         # NDJSON stream
 //	curl 'localhost:8080/stats'
 //
+// Mutate the resident graph and keep standing queries current:
+//
+//	curl -d '{"add":[[0,1],[1,2],[0,2]]}' localhost:8080/update
+//	curl 'localhost:8080/subscribe?pattern=triangle'              # NDJSON deltas
+//
 // SIGTERM or SIGINT drains: new queries get 503, in-flight queries finish
 // (up to -drain-timeout), then the process exits 0.
 package main
@@ -78,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		heartbeat    = fs.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat interval (worker-plane mode)")
 		missLimit    = fs.Int("miss-limit", 3, "consecutive missed heartbeats before a worker is evicted (worker-plane mode)")
 		hedge        = fs.Duration("hedge", 2*time.Second, "delay before hedging a count query to a second worker; negative disables (worker-plane mode)")
+		compactAt    = fs.Int("compact-threshold", 1024, "fold the mutation overlay's patch into a fresh base once it reaches this many edges; 0 disables compaction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -115,6 +121,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxDeadline:      *maxDeadline,
 		AsyncExchange:    *async,
 		CompressFrames:   *compress,
+		CompactThreshold: *compactAt,
+	}
+	if *compactAt < 0 {
+		return usage("-compact-threshold must be >= 0, have %d", *compactAt)
+	}
+	// -compact-threshold 0 must mean "never compact", which the config
+	// spells as -1 (0 asks for the default).
+	if *compactAt == 0 {
+		cfg.CompactThreshold = -1
 	}
 	switch *strategy {
 	case "random":
@@ -179,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("%v", err)
 	}
-	mode := "/query, /healthz, /stats, /debug/"
+	mode := "/query, /update, /subscribe, /healthz, /stats, /debug/"
 	if *workerPlane {
 		mode += ", /workers; coordinating remote workers (quorum " + fmt.Sprint(*quorum) + ")"
 	}

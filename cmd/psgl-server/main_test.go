@@ -41,6 +41,7 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
 		{"plane flags without plane", []string{"-gen", "er:50:100", "-quorum", "2"}, "require -worker-plane"},
 		{"zero quorum", []string{"-gen", "er:50:100", "-worker-plane", "-quorum", "0"}, "-quorum must be >= 1"},
+		{"negative compact threshold", []string{"-gen", "er:50:100", "-compact-threshold", "-5"}, "-compact-threshold must be >= 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -132,6 +133,74 @@ func TestServeQueryAndSigtermDrain(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "drained") {
 		t.Fatalf("drain not reported:\n%s", stderr.String())
+	}
+}
+
+// TestServeUpdateEndpoint: the binary accepts mutations on /update and
+// reports the new epoch on /stats, with -compact-threshold wired through.
+func TestServeUpdateEndpoint(t *testing.T) {
+	addrCh := make(chan string, 1)
+	testListenerReady = func(addr string) { addrCh <- addr }
+	defer func() { testListenerReady = nil }()
+
+	exited := make(chan int, 1)
+	go func() {
+		var stdout, stderr bytes.Buffer
+		exited <- run([]string{"-gen", "er:100:200", "-addr", "127.0.0.1:0", "-compact-threshold", "2"}, &stdout, &stderr)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never bound its listener")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/update", "application/json", strings.NewReader(`{"add":[[0,1],[0,2],[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur struct {
+		Epoch     uint64 `json:"epoch"`
+		Compacted bool   `json:"compacted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ur.Epoch != 1 {
+		t.Fatalf("update: status %d, %+v", resp.StatusCode, ur)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Graph struct {
+			Epoch uint64 `json:"epoch"`
+		} `json:"graph"`
+		Mutations struct {
+			Batches          int64 `json:"batches"`
+			CompactThreshold int   `json:"compact_threshold"`
+		} `json:"mutations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Graph.Epoch != 1 || st.Mutations.Batches != 1 || st.Mutations.CompactThreshold != 2 {
+		t.Fatalf("stats after update: %+v", st)
+	}
+
+	syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit")
 	}
 }
 

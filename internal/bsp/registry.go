@@ -291,6 +291,37 @@ func (r *Registry) Sweep() []WorkerInfo {
 	return evicted
 }
 
+// EvictAll force-evicts every alive worker. The coordinator calls it when
+// the resident graph mutates: a worker still serving the previous epoch's
+// graph can never answer queries over the new one, so its incarnation is
+// retired exactly as in a liveness eviction — subsequent heartbeats fail
+// with ErrEvicted (driving the worker's rejoin loop, which re-checks the
+// graph fingerprint at join), and in-flight replies fail generation
+// validation. Returns the evicted workers; OnEvict also fires for each,
+// outside the lock.
+func (r *Registry) EvictAll() []WorkerInfo {
+	r.mu.Lock()
+	var evicted []WorkerInfo
+	for _, w := range r.workers {
+		if w.info.State != StateAlive {
+			continue
+		}
+		w.info.State = StateEvicted
+		r.evictions++
+		r.epoch++
+		r.cfg.Observer.AddEviction()
+		evicted = append(evicted, w.info)
+	}
+	onEvict := r.cfg.OnEvict
+	r.mu.Unlock()
+	if onEvict != nil {
+		for _, w := range evicted {
+			onEvict(w)
+		}
+	}
+	return evicted
+}
+
 // Alive returns the live worker set, ordered by ID for deterministic
 // dispatch.
 func (r *Registry) Alive() []WorkerInfo {

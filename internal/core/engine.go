@@ -46,22 +46,12 @@ func RunContext(ctx context.Context, g *graph.Graph, p *pattern.Pattern, opts Op
 		return nil, fmt.Errorf("psgl: %d data labels for %d vertices", len(opts.DataLabels), g.NumVertices())
 	}
 
+	if err := validateSeeds(g, p, opts.Seeds); err != nil {
+		return nil, err
+	}
+
 	if opts.DisableAutomorphismBreaking {
-		stripped, err := pattern.New(p.Name(), p.N(), p.Edges()) // strip any orders
-		if err != nil {
-			return nil, fmt.Errorf("psgl: %v", err)
-		}
-		if p.Labeled() {
-			labels := make([]int, p.N())
-			for v := range labels {
-				labels[v] = p.Label(v)
-			}
-			stripped, err = stripped.WithLabels(labels)
-			if err != nil {
-				return nil, fmt.Errorf("psgl: %v", err)
-			}
-		}
-		p = stripped
+		p = p.StripOrders()
 	} else if !opts.PlannedPattern {
 		p = p.BreakAutomorphisms()
 	}
@@ -195,9 +185,13 @@ func (s *workerScratch) push() *expandFrame {
 func (s *workerScratch) pop() { s.depth-- }
 
 func newEngine(g *graph.Graph, p *pattern.Pattern, opts Options) (*engine, error) {
+	ord := graph.NewOrdered
+	if opts.IdentityOrder {
+		ord = graph.NewIdentityOrdered
+	}
 	e := &engine{
 		g:    g,
-		ord:  graph.NewOrdered(g),
+		ord:  ord(g),
 		p:    p,
 		opts: opts,
 		part: graph.NewPartition(opts.Workers, opts.Seed),
@@ -255,9 +249,46 @@ func workerRngSeed(seed int64, w int) uint64 {
 	return uint64(seed)*0x9e3779b97f4a7c15 + uint64(w) + 1
 }
 
+// validateSeeds rejects structurally malformed seeds up front: shape
+// mismatches, out-of-range vertices, and non-injective pins are caller bugs,
+// unlike constraint violations (degree, label, order, missing edge), which
+// seedGpsi prunes silently at run time like any other dead-end Gpsi.
+func validateSeeds(g *graph.Graph, p *pattern.Pattern, seeds []Seed) error {
+	for i, s := range seeds {
+		if len(s.PatternVertices) == 0 || len(s.PatternVertices) != len(s.DataVertices) {
+			return fmt.Errorf("psgl: seed %d: %d pattern vertices pinned to %d data vertices",
+				i, len(s.PatternVertices), len(s.DataVertices))
+		}
+		var pSeen uint32
+		for j, pv := range s.PatternVertices {
+			if pv < 0 || pv >= p.N() {
+				return fmt.Errorf("psgl: seed %d: pattern vertex %d out of range [0,%d)", i, pv, p.N())
+			}
+			if pSeen&(1<<uint(pv)) != 0 {
+				return fmt.Errorf("psgl: seed %d: pattern vertex %d pinned twice", i, pv)
+			}
+			pSeen |= 1 << uint(pv)
+			dv := s.DataVertices[j]
+			if int(dv) < 0 || int(dv) >= g.NumVertices() {
+				return fmt.Errorf("psgl: seed %d: data vertex %d out of range [0,%d)", i, dv, g.NumVertices())
+			}
+			for k := 0; k < j; k++ {
+				if s.DataVertices[k] == dv {
+					return fmt.Errorf("psgl: seed %d: data vertex %d used twice", i, dv)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Init is the initialization phase: each data vertex that can host the
 // initial pattern vertex emits a one-pair Gpsi to itself.
 func (e *engine) Init(ctx *bsp.Context[gpsi]) {
+	if len(e.opts.Seeds) > 0 {
+		e.initSeeds(ctx)
+		return
+	}
 	w := ctx.Worker()
 	minDeg := e.p.Degree(e.initial)
 	for _, vd := range e.owned[w] {
@@ -273,6 +304,63 @@ func (e *engine) Init(ctx *bsp.Context[gpsi]) {
 		m.Map[e.initial] = vd
 		e.send(ctx, m)
 	}
+}
+
+// initSeeds is the seeded initialization phase: every worker walks the full
+// seed list but only materializes the seeds whose expansion vertex (the
+// first pin) it owns, so each seed is admitted — and its pruning counted —
+// exactly once, deterministically, like Init's ownership split.
+func (e *engine) initSeeds(ctx *bsp.Context[gpsi]) {
+	w := ctx.Worker()
+	for _, s := range e.opts.Seeds {
+		if e.part.Owner(s.DataVertices[0]) != w {
+			continue
+		}
+		if m, ok := e.seedGpsi(ctx, s); ok {
+			e.send(ctx, m)
+		}
+	}
+}
+
+// seedGpsi builds the pinned Gpsi for one seed, applying the same admission
+// filters the unseeded flow applies at candidate time — degree, label, and
+// the symmetry-breaking partial order — plus eager exact verification of
+// every pattern edge between two pinned vertices (so seeds start with no
+// pending edges). ok=false means the seed provably anchors no instance.
+func (e *engine) seedGpsi(ctx *bsp.Context[gpsi], s Seed) (gpsi, bool) {
+	m := e.proto
+	for i, pv := range s.PatternVertices {
+		dv := s.DataVertices[i]
+		if e.g.Degree(dv) < e.p.Degree(pv) {
+			ctx.AddCounter("pruned_degree", 1)
+			return m, false
+		}
+		if e.opts.DataLabels != nil && int(e.opts.DataLabels[dv]) != e.p.Label(pv) {
+			ctx.AddCounter("pruned_label", 1)
+			return m, false
+		}
+		m.Map[pv] = dv
+	}
+	for i, pv := range s.PatternVertices {
+		du := m.Map[pv]
+		for _, qv := range s.PatternVertices[i+1:] {
+			dv := m.Map[qv]
+			if e.p.MustPrecede(pv, qv) && !e.ord.Less(du, dv) {
+				ctx.AddCounter("pruned_order", 1)
+				return m, false
+			}
+			if e.p.MustPrecede(qv, pv) && !e.ord.Less(dv, du) {
+				ctx.AddCounter("pruned_order", 1)
+				return m, false
+			}
+			if e.p.HasEdge(pv, qv) && !e.g.HasEdge(du, dv) {
+				ctx.AddCounter("pruned_verify", 1)
+				return m, false
+			}
+		}
+	}
+	m.Next = int8(s.PatternVertices[0])
+	return m, true
 }
 
 // Process expands one partial subgraph instance (Algorithm 1).
@@ -742,6 +830,17 @@ func (e *engine) combine(ctx *bsp.Context[gpsi], m *gpsi, vp int, preMapped uint
 // Gpsi to its next expanding vertex per the distribution strategy.
 func (e *engine) finalize(ctx *bsp.Context[gpsi], m *gpsi) {
 	if m.isComplete() && m.Pending == 0 {
+		if e.opts.EmitFilter != nil {
+			// Hand the filter the reused per-worker buffer, not a view of m: a
+			// direct m.Map slice would make every Gpsi on this path escape to
+			// the heap (same reasoning as the OnInstance buffer below).
+			sc := &e.scratch[ctx.Worker()]
+			sc.emit = append(sc.emit[:0], m.Map[:m.N]...)
+			if !e.opts.EmitFilter(sc.emit) {
+				ctx.AddCounter("pruned_filter", 1)
+				return
+			}
+		}
 		ctx.AddCounter("results", 1)
 		if e.opts.OnInstance != nil {
 			// Hand out a reused per-worker buffer, not a view of m: the
@@ -931,6 +1030,7 @@ func (e *engine) buildResult(rs *bsp.RunStats, wall time.Duration) *Result {
 		PrunedByInjectivity: rs.Counters["pruned_injective"],
 		PrunedByVerify:      rs.Counters["pruned_verify"],
 		PrunedByLabel:       rs.Counters["pruned_label"],
+		PrunedByFilter:      rs.Counters["pruned_filter"],
 		EdgeIndexQueries:    rs.Counters["index_queries"],
 		BitsetAndCandidates: rs.Counters["bitset_and"],
 		CompressedFrames:    rs.Counters["compressed_frames"],

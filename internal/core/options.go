@@ -114,6 +114,36 @@ type Options struct {
 	// serving layer's plan-reuse path. Ignored when
 	// DisableAutomorphismBreaking is set.
 	PlannedPattern bool
+	// Seeds, when non-empty, switches the run from whole-graph enumeration to
+	// seeded enumeration: instead of every eligible data vertex hosting the
+	// initial pattern vertex, each seed pins a set of pattern vertices to
+	// concrete data vertices and expansion proceeds only from those partial
+	// instances. Pinned-pinned pattern edges are verified eagerly at seeding
+	// time; seeds violating a degree, label, order, or edge constraint are
+	// dropped (counted in the pruning breakdown), while structurally malformed
+	// seeds (out of range, non-injective) fail the run up front. Every
+	// completion of every seed is found exactly once, but distinct seeds can
+	// reach the same embedding — dedup across seeds is the caller's job (the
+	// delta enumerator does it with EmitFilter). InitialVertex is ignored.
+	// This is the anchored-enumeration primitive behind internal/delta.
+	Seeds []Seed
+	// EmitFilter, when non-nil, is consulted for every complete, fully
+	// verified embedding just before it is counted: returning false drops the
+	// embedding (counted as PrunedByFilter) from Count, Collect, OnInstance,
+	// and MaxResults alike. The callback runs concurrently on worker
+	// goroutines and must be safe for concurrent use; the mapping slice is
+	// only valid during the call. The filter must be deterministic — it runs
+	// again on replayed supersteps after a recovery.
+	EmitFilter func(mapping []graph.VertexID) bool
+	// IdentityOrder replaces the degree-based vertex total order of Section 3
+	// with the vertex-id order. Counts are identical under any total order;
+	// the canonical representative chosen per automorphism class is not.
+	// Delta maintenance runs under this order because it is stable across
+	// edge mutations, keeping standing embeddings byte-comparable between
+	// epochs (the degree order can reshuffle after a single edge flip). It
+	// also skips the O(V log V) ordering sort — per-run setup that matters
+	// when small update batches spin up many short runs.
+	IdentityOrder bool
 	// MaxResults stops the run early once this many instances have been
 	// found (0 = unlimited). The stop is cooperative: workers finish their
 	// current message, so slightly more than MaxResults instances may be
@@ -189,6 +219,15 @@ type Options struct {
 	Observer *obs.Observer
 }
 
+// Seed pins pattern vertices to concrete data vertices before expansion
+// begins — one partial instance the run grows instead of seeding from every
+// data vertex. The two slices are parallel: PatternVertices[i] is mapped to
+// DataVertices[i]. Both sides must be injective and in range.
+type Seed struct {
+	PatternVertices []int
+	DataVertices    []graph.VertexID
+}
+
 // NewOptions returns the defaults spelled out explicitly.
 func NewOptions() Options {
 	return Options{
@@ -235,6 +274,8 @@ type Stats struct {
 	PrunedByInjectivity int64
 	PrunedByVerify      int64
 	PrunedByLabel       int64
+	// PrunedByFilter counts complete embeddings dropped by Options.EmitFilter.
+	PrunedByFilter int64
 	// EdgeIndexQueries counts bloom lookups.
 	EdgeIndexQueries int64
 	// BitsetAndCandidates counts candidate generations served by the bitset

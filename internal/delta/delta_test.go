@@ -1,0 +1,325 @@
+package delta
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"psgl/internal/bsp"
+	"psgl/internal/centralized"
+	"psgl/internal/core"
+	"psgl/internal/gen"
+	"psgl/internal/graph"
+	"psgl/internal/pattern"
+)
+
+func embeddingKey(m []graph.VertexID) string {
+	s := ""
+	for i, v := range m {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+// fullEmbeddings enumerates g completely under the identity order — the
+// reference the maintained standing set must stay byte-identical to.
+func fullEmbeddings(t *testing.T, g *graph.Graph, p *pattern.Pattern) []string {
+	t.Helper()
+	res, err := core.Run(g, p, core.Options{Workers: 3, Seed: 1, Collect: true, IdentityOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(res.Instances))
+	for _, m := range res.Instances {
+		keys = append(keys, embeddingKey(m))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// randomBatch draws a mixed batch of adds (edges absent from g) and removes
+// (edges present in g) and returns the mutated graph alongside the raw
+// lists, which deliberately include noops and duplicates.
+func randomBatch(g *graph.Graph, rng *rand.Rand, nAdd, nRemove int) (*graph.Graph, [][2]graph.VertexID, [][2]graph.VertexID) {
+	ov := graph.NewOverlay(g)
+	n := g.NumVertices()
+	var adds, removes [][2]graph.VertexID
+	for len(adds) < nAdd {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		adds = append(adds, [2]graph.VertexID{u, v})
+	}
+	// Sample removes from the present edges via reservoir over Edges.
+	var present [][2]graph.VertexID
+	g.Edges(func(u, v graph.VertexID) bool {
+		present = append(present, [2]graph.VertexID{u, v})
+		return true
+	})
+	for i := 0; i < nRemove && len(present) > 0; i++ {
+		removes = append(removes, present[rng.Intn(len(present))])
+	}
+	// Noise: duplicate entries and noop adds of present edges.
+	if len(present) > 0 {
+		adds = append(adds, present[rng.Intn(len(present))])
+	}
+	if len(removes) > 0 {
+		removes = append(removes, removes[0])
+	}
+	if _, err := ov.ApplyBatch(graph.Batch{Add: adds, Remove: removes}); err != nil {
+		panic(err)
+	}
+	return ov.Snapshot(), adds, removes
+}
+
+// applyDelta patches the standing multiset: add every gained embedding,
+// drop every lost one (which must be present).
+func applyDelta(t *testing.T, standing []string, res *Result) []string {
+	t.Helper()
+	set := make(map[string]int, len(standing))
+	for _, k := range standing {
+		set[k]++
+	}
+	for _, m := range res.LostEmbeddings {
+		k := embeddingKey(m)
+		if set[k] == 0 {
+			t.Fatalf("lost embedding %s was not in the standing set", k)
+		}
+		set[k]--
+	}
+	for _, m := range res.GainedEmbeddings {
+		set[embeddingKey(m)]++
+	}
+	var out []string
+	for k, c := range set {
+		if c > 1 {
+			t.Fatalf("embedding %s has multiplicity %d after patch", k, c)
+		}
+		if c == 1 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDeltaDifferentialOracle is the core correctness battery: random
+// graphs × catalog patterns × random mixed batches, checking both the count
+// identity count(G) + gained − lost == count(G′) against the centralized
+// oracle and the byte-identity of the patched standing embedding set
+// against a fresh full run on G′.
+func TestDeltaDifferentialOracle(t *testing.T) {
+	patterns := []*pattern.Pattern{
+		pattern.PG1(), pattern.PG2(), pattern.PG3(), pattern.PG5(),
+	}
+	for _, seed := range []int64{3, 11} {
+		g0 := gen.ChungLu(250, 900, 1.8, seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		g1, adds, removes := randomBatch(g0, rng, 10, 10)
+		for _, p := range patterns {
+			res, err := Enumerate(context.Background(), g0, g1, adds, removes, p,
+				Options{Workers: 3, Seed: 1, Collect: true})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, p.Name(), err)
+			}
+			before := centralized.CountInstances(p, g0)
+			after := centralized.CountInstances(p, g1)
+			if before+res.Gained-res.Lost != after {
+				t.Fatalf("seed %d %s: %d + %d - %d != %d",
+					seed, p.Name(), before, res.Gained, res.Lost, after)
+			}
+			standing := fullEmbeddings(t, g0, p)
+			patched := applyDelta(t, standing, res)
+			fresh := fullEmbeddings(t, g1, p)
+			if len(patched) != len(fresh) {
+				t.Fatalf("seed %d %s: patched standing set has %d embeddings, fresh run %d",
+					seed, p.Name(), len(patched), len(fresh))
+			}
+			for i := range patched {
+				if patched[i] != fresh[i] {
+					t.Fatalf("seed %d %s: patched[%d] = %s, fresh = %s",
+						seed, p.Name(), i, patched[i], fresh[i])
+				}
+			}
+			if res.Runs != len(res.AddedEdges)+len(res.RemovedEdges) {
+				t.Fatalf("runs = %d for %d+%d effective changes",
+					res.Runs, len(res.AddedEdges), len(res.RemovedEdges))
+			}
+		}
+	}
+}
+
+// TestDeltaModesBitIdentical pins the satellite requirement: gained/lost
+// counts — and the embedding multisets — are identical across
+// {strict, async} × {local, TCP}.
+func TestDeltaModesBitIdentical(t *testing.T) {
+	g0 := gen.ChungLu(200, 700, 1.8, 5)
+	rng := rand.New(rand.NewSource(13))
+	g1, adds, removes := randomBatch(g0, rng, 8, 8)
+	p := pattern.PG3()
+	type mode struct {
+		name  string
+		async bool
+		tcp   bool
+	}
+	modes := []mode{
+		{"strict-local", false, false},
+		{"strict-tcp", false, true},
+		{"async-local", true, false},
+		{"async-tcp", true, true},
+	}
+	var want *Result
+	var wantGained, wantLost []string
+	for _, md := range modes {
+		opts := Options{Workers: 3, Seed: 2, Collect: true, AsyncExchange: md.async}
+		if md.tcp {
+			opts.Exchange = bsp.NewTCPExchangeFactory()
+		}
+		res, err := Enumerate(context.Background(), g0, g1, adds, removes, p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", md.name, err)
+		}
+		gained := sortedKeys(res.GainedEmbeddings)
+		lost := sortedKeys(res.LostEmbeddings)
+		if want == nil {
+			want, wantGained, wantLost = res, gained, lost
+			continue
+		}
+		if res.Gained != want.Gained || res.Lost != want.Lost {
+			t.Fatalf("%s: gained/lost %d/%d, want %d/%d",
+				md.name, res.Gained, res.Lost, want.Gained, want.Lost)
+		}
+		if !equalStrings(gained, wantGained) || !equalStrings(lost, wantLost) {
+			t.Fatalf("%s: embedding multiset differs from strict-local", md.name)
+		}
+	}
+	if want.Gained == 0 && want.Lost == 0 {
+		t.Fatal("degenerate batch: no delta to compare")
+	}
+}
+
+// TestDeltaKillScheduleRecovery injects a seeded worker kill into the
+// anchored runs and requires the recovered delta to be bit-identical to the
+// clean one — the mid-update fault leg of the acceptance criteria.
+func TestDeltaKillScheduleRecovery(t *testing.T) {
+	g0 := gen.ChungLu(200, 700, 1.8, 9)
+	rng := rand.New(rand.NewSource(21))
+	g1, adds, removes := randomBatch(g0, rng, 6, 6)
+	p := pattern.PG2()
+	clean, err := Enumerate(context.Background(), g0, g1, adds, removes, p,
+		Options{Workers: 3, Seed: 4, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := bsp.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		JitterSeed:  0x5ca1ab1e,
+	}
+	// A dead worker fails every retry of its barrier; only the checkpoint
+	// restore gets past it (same schedule shape as the chaos harness).
+	var faults []bsp.StepFault
+	for a := 0; a < retry.MaxAttempts; a++ {
+		faults = append(faults, bsp.StepFault{Step: 1, Kind: bsp.StepFaultKill, Worker: 0})
+	}
+	chaos, err := Enumerate(context.Background(), g0, g1, adds, removes, p, Options{
+		Workers:         3,
+		Seed:            4,
+		Collect:         true,
+		Exchange:        bsp.NewScheduledFaultExchangeFactory(nil, faults),
+		Retry:           retry,
+		CheckpointEvery: 1,
+		MaxRecoveries:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Gained != clean.Gained || chaos.Lost != clean.Lost {
+		t.Fatalf("recovered delta %d/%d != clean %d/%d",
+			chaos.Gained, chaos.Lost, clean.Gained, clean.Lost)
+	}
+	if chaos.Recoveries == 0 {
+		t.Fatal("kill schedule never forced a recovery")
+	}
+	if !equalStrings(sortedKeys(chaos.GainedEmbeddings), sortedKeys(clean.GainedEmbeddings)) ||
+		!equalStrings(sortedKeys(chaos.LostEmbeddings), sortedKeys(clean.LostEmbeddings)) {
+		t.Fatal("recovered embedding multiset differs from clean run")
+	}
+}
+
+// TestDeltaEdgeCases: empty batches, pure-noop batches, cancelling entries,
+// and validation failures.
+func TestDeltaEdgeCases(t *testing.T) {
+	g := graph.FromEdges(5, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}})
+	p := pattern.Triangle()
+	ctx := context.Background()
+
+	res, err := Enumerate(ctx, g, g, nil, nil, p, Options{Workers: 2})
+	if err != nil || res.Gained != 0 || res.Lost != 0 || res.Runs != 0 {
+		t.Fatalf("empty batch: %+v, %v", res, err)
+	}
+	// Noop entries: adding a present edge / removing an absent one anchor
+	// nothing.
+	res, err = Enumerate(ctx, g, g,
+		[][2]graph.VertexID{{0, 1}}, [][2]graph.VertexID{{0, 3}}, p, Options{Workers: 2})
+	if err != nil || res.Runs != 0 {
+		t.Fatalf("noop batch ran %d anchors, err %v", res.Runs, err)
+	}
+	// A real change: completing the second triangle {2,3,4}.
+	ov := graph.NewOverlay(g)
+	if _, err := ov.ApplyBatch(graph.Batch{Add: [][2]graph.VertexID{{2, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Enumerate(ctx, g, ov.Snapshot(), [][2]graph.VertexID{{2, 4}}, nil, p,
+		Options{Workers: 2, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gained != 1 || res.Lost != 0 {
+		t.Fatalf("gained %d lost %d, want 1/0", res.Gained, res.Lost)
+	}
+	// Validation: out-of-range and self-loop entries fail fast.
+	if _, err := Enumerate(ctx, g, g, [][2]graph.VertexID{{0, 9}}, nil, p, Options{}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := Enumerate(ctx, g, g, nil, [][2]graph.VertexID{{3, 3}}, p, Options{}); err == nil {
+		t.Fatal("want self-loop error")
+	}
+	if _, err := Enumerate(ctx, g, nil, nil, nil, p, Options{}); err == nil {
+		t.Fatal("want nil-graph error")
+	}
+	g6 := graph.FromEdges(6, [][2]graph.VertexID{{0, 1}})
+	if _, err := Enumerate(ctx, g, g6, nil, nil, p, Options{}); err == nil {
+		t.Fatal("want vertex-count error")
+	}
+}
+
+func sortedKeys(ms [][]graph.VertexID) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, embeddingKey(m))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

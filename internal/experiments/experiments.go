@@ -523,6 +523,7 @@ func ByName(name string) (func() string, error) {
 		"serve":     Serve,
 		"chaos":     Chaos,
 		"census":    Census,
+		"update":    Update,
 		"all":       All,
 	}
 	fn, ok := m[name]

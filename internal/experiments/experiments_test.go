@@ -10,7 +10,7 @@ import (
 // plain `go test ./...` still validates this package.
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "chaos", "census", "all"} {
+	for _, name := range []string{"datasets", "property1", "fig3", "fig5", "fig6", "table2", "fig7", "table3", "table4", "fig8", "makespan", "hotpath", "serve", "chaos", "census", "update", "all"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
@@ -105,6 +105,32 @@ func TestChaosReport(t *testing.T) {
 	}
 	if corruptionsDetected == 0 {
 		t.Fatal("corruption schedule ran but no corruption was detected")
+	}
+}
+
+func TestUpdateReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("update experiment in -short mode")
+	}
+	rep, err := runUpdate()
+	if err != nil {
+		t.Fatal(err) // runUpdate verifies the maintenance identity per batch
+	}
+	if len(rep.Runs) != rep.Batches {
+		t.Fatalf("%d runs recorded, want %d", len(rep.Runs), rep.Batches)
+	}
+	var effective int
+	for _, run := range rep.Runs {
+		effective += run.EdgesAdded + run.EdgesRemoved
+	}
+	if effective == 0 {
+		t.Fatal("no batch had an effective mutation; the benchmark measured nothing")
+	}
+	if rep.Speedup < 1 {
+		t.Fatalf("delta path slower than full re-enumeration: speedup %.2f", rep.Speedup)
+	}
+	if rep.UpdatesPerSec <= 0 {
+		t.Fatalf("updates/sec %.2f", rep.UpdatesPerSec)
 	}
 }
 

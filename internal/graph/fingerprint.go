@@ -29,3 +29,19 @@ func (g *Graph) Fingerprint() uint64 {
 	}
 	return h
 }
+
+// EdgeFingerprint returns an order-independent 64-bit digest of the edge
+// set: a seed derived from |V| plus the wrapping sum of mix64 over every
+// normalized edge key. Unlike Fingerprint (a sequential FNV walk over the
+// CSR arrays), this digest is a commutative sum, so an Overlay can maintain
+// it incrementally — adding an edge adds its term, removing subtracts it —
+// without rescanning the graph. Two graphs over the same vertex count have
+// equal EdgeFingerprints iff they (almost surely) have the same edge set.
+func (g *Graph) EdgeFingerprint() uint64 {
+	fp := mix64(0x5851f42d4c957f2d ^ uint64(g.NumVertices()))
+	g.Edges(func(u, v VertexID) bool {
+		fp += mix64(edgeKey(u, v))
+		return true
+	})
+	return fp
+}

@@ -50,6 +50,32 @@ func NewOrdered(g *Graph) *Ordered {
 	return &Ordered{G: g, rank: rank, nb: nb, ns: ns}
 }
 
+// NewIdentityOrdered wraps g with the trivial total order ranked by vertex
+// id. Instance counts are invariant to the choice of total order, but the
+// canonical representative of each automorphism class is not — and the
+// degree order shifts as edges mutate. Delta maintenance therefore runs
+// under the identity order, which is stable across mutations, so embeddings
+// enumerated before and after a batch stay byte-comparable. It is also
+// cheaper to build (no sort), which matters when every small update batch
+// spins up fresh enumeration runs.
+func NewIdentityOrdered(g *Graph) *Ordered {
+	n := g.NumVertices()
+	rank := make([]int32, n)
+	nb := make([]int32, n)
+	ns := make([]int32, n)
+	for v := 0; v < n; v++ {
+		rank[v] = int32(v)
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if u < VertexID(v) {
+				nb[v]++
+			} else {
+				ns[v]++
+			}
+		}
+	}
+	return &Ordered{G: g, rank: rank, nb: nb, ns: ns}
+}
+
 // Rank returns the order position of v (0 = lowest degree).
 func (o *Ordered) Rank(v VertexID) int32 { return o.rank[v] }
 

@@ -1,0 +1,244 @@
+package graph
+
+import "fmt"
+
+// Overlay is a versioned mutable view over an immutable CSR base graph. The
+// base stays frozen (queries in flight keep reading it safely); mutations
+// land as batches of edge additions and removals tracked in small patch sets,
+// and Snapshot materializes the current edge set back into a fresh immutable
+// CSR when a consistent *Graph is needed. Each accepted batch advances an
+// epoch counter, and the overlay maintains the order-independent edge
+// fingerprint incrementally, so the invariant
+//
+//	ov.Fingerprint() == ov.Snapshot().EdgeFingerprint()
+//
+// holds after every batch — the serving layer's plan cache and worker-plane
+// generation gating key on that fingerprint.
+//
+// The vertex set is fixed at construction: an overlay can rewire edges among
+// the base's vertices but never grows |V|.
+//
+// An Overlay is not safe for concurrent use; callers serialize mutations and
+// publish immutable Snapshot results to readers.
+type Overlay struct {
+	base    *Graph
+	added   map[uint64]struct{} // edges present here but absent in base
+	removed map[uint64]struct{} // edges present in base but deleted here
+	epoch   uint64
+	fp      uint64 // incremental edge fingerprint of the current edge set
+	edges   int64  // current |E|
+	snap    *Graph // cached Snapshot; nil when stale
+	// lifetime counters, surfaced in /stats
+	addedTotal   int64
+	removedTotal int64
+	noopTotal    int64
+	compactions  int64
+}
+
+// Batch is one atomic group of edge mutations. Removals apply before
+// additions, so an edge listed in both ends up present.
+type Batch struct {
+	Add    [][2]VertexID
+	Remove [][2]VertexID
+}
+
+// BatchResult reports what a batch actually changed. Added/Removed list the
+// effective mutations (normalized u < v, deduplicated, noops dropped) — the
+// exact anchor sets a delta enumeration needs.
+type BatchResult struct {
+	Epoch   uint64 // epoch after the batch
+	Added   [][2]VertexID
+	Removed [][2]VertexID
+	Noops   int // entries that did not change the edge set
+}
+
+// edgeKey packs a normalized undirected edge into one comparable word.
+func edgeKey(u, v VertexID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap 64-bit permutation with good
+// avalanche, so summing mixed edge keys gives an order-independent digest
+// that single edge flips always change.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewOverlay starts an overlay over base with an empty patch set.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{
+		base:    base,
+		added:   make(map[uint64]struct{}),
+		removed: make(map[uint64]struct{}),
+		fp:      base.EdgeFingerprint(),
+		edges:   base.NumEdges(),
+		snap:    base,
+	}
+}
+
+// NumVertices returns |V| (fixed at construction).
+func (o *Overlay) NumVertices() int { return o.base.NumVertices() }
+
+// NumEdges returns the current |E| including pending patches.
+func (o *Overlay) NumEdges() int64 { return o.edges }
+
+// Epoch returns the number of accepted batches so far.
+func (o *Overlay) Epoch() uint64 { return o.epoch }
+
+// Fingerprint returns the order-independent edge fingerprint of the current
+// edge set, maintained incrementally across batches and compactions.
+func (o *Overlay) Fingerprint() uint64 { return o.fp }
+
+// PatchSize returns the number of pending patch entries (added + removed)
+// not yet folded into the base CSR — the compaction trigger.
+func (o *Overlay) PatchSize() int { return len(o.added) + len(o.removed) }
+
+// Compactions returns how many times the patch set has been folded back
+// into the base CSR.
+func (o *Overlay) Compactions() int64 { return o.compactions }
+
+// MutationStats returns lifetime counts of effective additions, effective
+// removals, and noop entries across all accepted batches.
+func (o *Overlay) MutationStats() (added, removed, noops int64) {
+	return o.addedTotal, o.removedTotal, o.noopTotal
+}
+
+// HasEdge reports whether {u, v} is present in the current edge set.
+func (o *Overlay) HasEdge(u, v VertexID) bool {
+	k := edgeKey(u, v)
+	if _, ok := o.added[k]; ok {
+		return true
+	}
+	if _, ok := o.removed[k]; ok {
+		return false
+	}
+	return o.base.HasEdge(u, v)
+}
+
+// validateEdge rejects self-loops and out-of-range endpoints. The vertex set
+// is fixed, so referencing a vertex the base does not have is an error, not
+// an implicit grow.
+func (o *Overlay) validateEdge(kind string, e [2]VertexID) error {
+	n := o.base.NumVertices()
+	if int(e[0]) < 0 || int(e[0]) >= n || int(e[1]) < 0 || int(e[1]) >= n {
+		return fmt.Errorf("graph: %s edge (%d,%d) out of range [0,%d)", kind, e[0], e[1], n)
+	}
+	if e[0] == e[1] {
+		return fmt.Errorf("graph: %s edge (%d,%d) is a self-loop", kind, e[0], e[1])
+	}
+	return nil
+}
+
+// ApplyBatch applies one mutation batch atomically: the whole batch is
+// validated first, and a validation error leaves the overlay untouched.
+// Removals apply before additions. Entries that do not change the edge set
+// (adding a present edge, removing an absent one, add+remove cancelling
+// within the batch) are counted as noops. Every accepted batch — even an
+// all-noop one — advances the epoch.
+func (o *Overlay) ApplyBatch(b Batch) (BatchResult, error) {
+	for _, e := range b.Remove {
+		if err := o.validateEdge("remove", e); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	for _, e := range b.Add {
+		if err := o.validateEdge("add", e); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	var res BatchResult
+	for _, e := range b.Remove {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if !o.HasEdge(u, v) {
+			res.Noops++
+			continue
+		}
+		k := edgeKey(u, v)
+		if _, ok := o.added[k]; ok {
+			delete(o.added, k)
+		} else {
+			o.removed[k] = struct{}{}
+		}
+		o.fp -= mix64(k)
+		o.edges--
+		res.Removed = append(res.Removed, [2]VertexID{u, v})
+	}
+	for _, e := range b.Add {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if o.HasEdge(u, v) {
+			res.Noops++
+			continue
+		}
+		k := edgeKey(u, v)
+		if _, ok := o.removed[k]; ok {
+			delete(o.removed, k)
+		} else {
+			o.added[k] = struct{}{}
+		}
+		o.fp += mix64(k)
+		o.edges++
+		res.Added = append(res.Added, [2]VertexID{u, v})
+	}
+	if len(res.Added) > 0 || len(res.Removed) > 0 {
+		o.snap = nil
+	}
+	o.epoch++
+	o.addedTotal += int64(len(res.Added))
+	o.removedTotal += int64(len(res.Removed))
+	o.noopTotal += int64(res.Noops)
+	res.Epoch = o.epoch
+	return res, nil
+}
+
+// Snapshot materializes the current edge set as an immutable CSR graph. The
+// result is cached until the next effective mutation, so repeated calls
+// between batches are free. The snapshot shares no mutable state with the
+// overlay.
+func (o *Overlay) Snapshot() *Graph {
+	if o.snap != nil {
+		return o.snap
+	}
+	b := NewBuilder(o.base.NumVertices())
+	o.base.Edges(func(u, v VertexID) bool {
+		if _, gone := o.removed[edgeKey(u, v)]; !gone {
+			b.AddEdge(u, v)
+		}
+		return true
+	})
+	for k := range o.added {
+		b.AddEdge(VertexID(int32(k>>32)), VertexID(int32(uint32(k))))
+	}
+	o.snap = b.Build()
+	return o.snap
+}
+
+// Compact folds the pending patch set into a fresh base CSR, emptying the
+// patches. Epoch and fingerprint are unchanged — compaction rewrites the
+// representation, not the edge set. Returns the new base.
+func (o *Overlay) Compact() *Graph {
+	s := o.Snapshot()
+	o.base = s
+	o.added = make(map[uint64]struct{})
+	o.removed = make(map[uint64]struct{})
+	o.compactions++
+	return s
+}
+
+// Base returns the current immutable base CSR (pre-patch edge set, unless a
+// compaction just folded the patches in).
+func (o *Overlay) Base() *Graph { return o.base }

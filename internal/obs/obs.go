@@ -256,6 +256,14 @@ type Observer struct {
 	canonHits       atomic.Int64
 	canonMisses     atomic.Int64
 
+	// Mutation-plane counters (fed by the serving tier's /update path: one
+	// AddMutation per accepted batch, one AddDelta per standing-query delta
+	// enumeration).
+	mutationBatches atomic.Int64
+	mutationEdges   atomic.Int64
+	deltaGained     atomic.Int64
+	deltaLost       atomic.Int64
+
 	// Async-exchange counters (fed by the pipelined message plane at frame
 	// and termination-scan granularity — never per message).
 	creditRounds      atomic.Int64
@@ -581,6 +589,27 @@ func (o *Observer) AddCensus(subgraphs, canonHits, canonMisses int64) {
 	o.censusSubgraphs.Add(subgraphs)
 	o.canonHits.Add(canonHits)
 	o.canonMisses.Add(canonMisses)
+}
+
+// AddMutation records one accepted graph-mutation batch and its effective
+// edge-change count (noops excluded). Called once per batch by the serving
+// tier's update path — never per edge.
+func (o *Observer) AddMutation(effectiveEdges int64) {
+	if o == nil {
+		return
+	}
+	o.mutationBatches.Add(1)
+	o.mutationEdges.Add(effectiveEdges)
+}
+
+// AddDelta records one standing query's delta-enumeration outcome for a
+// mutation epoch: embeddings gained and lost relative to the previous epoch.
+func (o *Observer) AddDelta(gained, lost int64) {
+	if o == nil {
+		return
+	}
+	o.deltaGained.Add(gained)
+	o.deltaLost.Add(lost)
 }
 
 // AddCreditRound counts one termination-detector scan by the async plane's

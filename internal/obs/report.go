@@ -54,6 +54,13 @@ type Snapshot struct {
 	CanonHits       int64 `json:"canon_hits"`
 	CanonMisses     int64 `json:"canon_misses"`
 
+	// Mutation-plane counters (monotonic; fed by the serving tier's /update
+	// path, once per batch / per standing-query delta).
+	MutationBatches int64 `json:"mutation_batches"`
+	MutationEdges   int64 `json:"mutation_edges"`
+	DeltaGained     int64 `json:"delta_gained"`
+	DeltaLost       int64 `json:"delta_lost"`
+
 	// Async-exchange counters (monotonic; fed by the pipelined message
 	// plane's coordinator and flush paths).
 	CreditRounds       int64 `json:"credit_rounds"`
@@ -108,6 +115,10 @@ func (o *Observer) Snapshot() Snapshot {
 		CensusSubgraphs:    o.censusSubgraphs.Load(),
 		CanonHits:          o.canonHits.Load(),
 		CanonMisses:        o.canonMisses.Load(),
+		MutationBatches:    o.mutationBatches.Load(),
+		MutationEdges:      o.mutationEdges.Load(),
+		DeltaGained:        o.deltaGained.Load(),
+		DeltaLost:          o.deltaLost.Load(),
 		CreditRounds:       o.creditRounds.Load(),
 		EarlyExpansions:    o.earlyExpansions.Load(),
 		FramesInFlightPeak: o.framesInFlightMax.Load(),
@@ -189,6 +200,10 @@ func (o *Observer) WriteReport(w io.Writer) {
 	if s.CreditRounds > 0 {
 		fmt.Fprintf(w, "async exchange: %d credit rounds, %d early expansions, %d frames in flight at peak\n",
 			s.CreditRounds, s.EarlyExpansions, s.FramesInFlightPeak)
+	}
+	if s.MutationBatches > 0 {
+		fmt.Fprintf(w, "mutations: %d batches, %d effective edges; deltas: %d gained, %d lost\n",
+			s.MutationBatches, s.MutationEdges, s.DeltaGained, s.DeltaLost)
 	}
 	if s.CensusSubgraphs+s.CanonHits+s.CanonMisses > 0 {
 		lookups := s.CanonHits + s.CanonMisses

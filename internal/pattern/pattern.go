@@ -138,6 +138,22 @@ func (p *Pattern) Edges() [][2]int {
 	return out
 }
 
+// StripOrders returns a copy of p with every symmetry-breaking constraint
+// removed, preserving name, edges, and labels. It is the inverse of
+// BreakAutomorphisms for the engine's ablation path, and lets callers
+// holding a planned (order-carrying) pattern rebuild the raw one without
+// replaying the New/WithLabels construction dance. A pattern with no orders
+// is returned as-is.
+func (p *Pattern) StripOrders() *Pattern {
+	if len(p.orders) == 0 {
+		return p
+	}
+	q := p.clone()
+	q.orders = nil
+	q.computeLess()
+	return q
+}
+
 // Orders returns the symmetry-breaking constraints (empty before
 // BreakAutomorphisms or for asymmetric patterns).
 func (p *Pattern) Orders() []Order {

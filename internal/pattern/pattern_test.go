@@ -362,6 +362,43 @@ func TestHeuristic2PrefersHighDegreeOrbit(t *testing.T) {
 	}
 }
 
+func TestStripOrders(t *testing.T) {
+	p := Triangle().BreakAutomorphisms()
+	if len(p.Orders()) == 0 {
+		t.Fatal("broken triangle should carry orders")
+	}
+	s := p.StripOrders()
+	if len(s.Orders()) != 0 {
+		t.Fatalf("StripOrders left %v", s.Orders())
+	}
+	for a := 0; a < s.N(); a++ {
+		for b := 0; b < s.N(); b++ {
+			if s.MustPrecede(a, b) {
+				t.Fatalf("residual MustPrecede(%d,%d)", a, b)
+			}
+		}
+	}
+	if s.N() != p.N() || s.NumEdges() != p.NumEdges() || s.Name() != p.Name() {
+		t.Fatal("StripOrders changed the structure")
+	}
+	if len(p.Orders()) == 0 {
+		t.Fatal("StripOrders mutated the receiver")
+	}
+	// Order-free patterns come back as-is; labels survive the strip.
+	asym := MustNew("path3", 3, [][2]int{{0, 1}, {1, 2}})
+	if asym.StripOrders() != asym {
+		t.Fatal("order-free pattern should be returned unchanged")
+	}
+	lp, err := Triangle().WithLabels([]int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := lp.BreakAutomorphisms().StripOrders()
+	if !ls.Labeled() || ls.Label(1) != 2 {
+		t.Fatal("StripOrders dropped labels")
+	}
+}
+
 func BenchmarkAutomorphisms(b *testing.B) {
 	p := MustNew("k6", 6, func() [][2]int {
 		var e [][2]int

@@ -37,6 +37,9 @@ type censusState struct {
 	bgBuilt bool
 	caches  map[int]*esu.CanonCache
 	results map[int]*esu.Result
+	// gen counts invalidations; a census run started under an older gen never
+	// stores its (previous-graph) result into the current result cache.
+	gen uint64
 
 	// Cumulative counters for /stats.
 	queries     atomic.Int64
@@ -67,6 +70,8 @@ func (cs *censusState) run(ctx context.Context, g *graph.Graph, k, workers int, 
 	}
 	if cs.caches == nil {
 		cs.caches = make(map[int]*esu.CanonCache)
+	}
+	if cs.results == nil {
 		cs.results = make(map[int]*esu.Result)
 	}
 	cache, ok := cs.caches[k]
@@ -75,6 +80,7 @@ func (cs *censusState) run(ctx context.Context, g *graph.Graph, k, workers int, 
 		cs.caches[k] = cache
 	}
 	bg := cs.bg
+	gen := cs.gen
 	cs.mu.Unlock()
 
 	res, err = esu.CountBitGraph(ctx, bg, k, esu.Options{
@@ -88,9 +94,24 @@ func (cs *censusState) run(ctx context.Context, g *graph.Graph, k, workers int, 
 	cs.canonHits.Add(res.CacheHits)
 	cs.canonMisses.Add(res.CacheMisses)
 	cs.mu.Lock()
-	cs.results[k] = res
+	if cs.gen == gen && cs.results != nil {
+		cs.results[k] = res
+	}
 	cs.mu.Unlock()
 	return res, false, nil
+}
+
+// invalidate drops the graph-derived census caches after a mutation epoch:
+// the BitGraph adjacency and the per-k result cache describe the previous
+// graph. The canonical-form memo caches survive — a canonical form depends
+// only on a k-subgraph's own structure, never on which resident graph it was
+// found in, so the expensive memo keeps paying off across epochs.
+func (cs *censusState) invalidate() {
+	cs.mu.Lock()
+	cs.bg, cs.bgErr, cs.bgBuilt = nil, nil, false
+	cs.results = nil
+	cs.gen++
+	cs.mu.Unlock()
 }
 
 // CensusStats is the census section of /stats.
@@ -147,8 +168,8 @@ type censusCacheReport struct {
 
 // serveCensus answers a census(k) query. The caller already holds an
 // admission slot and the query deadline context.
-func (s *Server) serveCensus(ctx context.Context, w http.ResponseWriter, k int, params queryParams, observer *obs.Observer, traceID string, start time.Time) {
-	res, cached, err := s.census.run(ctx, s.g, k, params.workers, observer)
+func (s *Server) serveCensus(ctx context.Context, w http.ResponseWriter, g *graph.Graph, k int, params queryParams, observer *obs.Observer, traceID string, start time.Time) {
+	res, cached, err := s.census.run(ctx, g, k, params.workers, observer)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.deadlineExceeded.Add(1)

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"testing"
+
+	"psgl/internal/graph"
+)
+
+// FuzzUpdateBatchDecode drives arbitrary bytes through the /update body
+// decoder and, when a batch survives validation, through a real overlay.
+// Invariants under fuzz:
+//
+//   - decodeUpdateBatch never panics and never returns an empty batch
+//     without an error;
+//   - every decoded edge has exactly two in-range endpoints (the decoder's
+//     validation contract — ApplyBatch re-checks bounds against the graph);
+//   - after a successful ApplyBatch, the overlay's incremental edge
+//     fingerprint equals the fingerprint of the rebuilt snapshot — the
+//     maintained and recomputed views of the mutated graph agree.
+func FuzzUpdateBatchDecode(f *testing.F) {
+	f.Add([]byte(`{"add":[[0,1]]}`))
+	f.Add([]byte(`{"add":[[0,1],[0,1]],"remove":[[0,1]]}`))             // dup insert + delete of the same edge
+	f.Add([]byte(`{"add":[[-1,2],[0,4294967296],["x",1],[3]]}`))        // malformed vertex ids and arity
+	f.Add([]byte(`{"remove":[[1,0],[0,1]]}`))                           // same undirected edge, both spellings
+	f.Add([]byte(`{"add":[[2,2]]}`))                                    // self-loop (overlay rejects)
+	f.Add([]byte(`{"ad":[[0,1]]}`))                                     // unknown field
+	f.Add([]byte(`{"add":[[0,1]]}{"add":[[1,2]]}`))                     // trailing content
+	f.Add([]byte(`{"add":[],"remove":[]}`))                             // empty batch
+	f.Add([]byte(`{"add":[[0,1],[1,2],[0,2]],"remove":[[0,1],[5,6]]}`)) // mixed effective + out-of-range
+
+	base := graph.FromEdges(8, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		batch, err := decodeUpdateBatch(body)
+		if err != nil {
+			return
+		}
+		if len(batch.Add)+len(batch.Remove) == 0 {
+			t.Fatal("decoder accepted an empty batch")
+		}
+		for _, e := range append(append([][2]graph.VertexID{}, batch.Add...), batch.Remove...) {
+			if e[0] < 0 || e[1] < 0 {
+				t.Fatalf("decoder passed a negative vertex id: %v", e)
+			}
+		}
+		ov := graph.NewOverlay(base)
+		if _, err := ov.ApplyBatch(batch); err != nil {
+			return // out-of-range vertex or self-loop; the overlay is unchanged
+		}
+		if got, want := ov.Fingerprint(), ov.Snapshot().EdgeFingerprint(); got != want {
+			t.Fatalf("incremental fingerprint %016x, snapshot fingerprint %016x", got, want)
+		}
+	})
+}

@@ -187,15 +187,17 @@ func (s *Server) handleWorkerJoin(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "join needs addr")
 		return
 	}
-	if want := fmt.Sprintf("%016x", s.fp); req.Fingerprint != want {
-		// A worker resident over a different graph can never answer this
-		// server's queries; 412 tells it the mismatch is permanent (no
-		// rejoin loop will fix it).
+	fp := s.state.Load().fp
+	if want := fmt.Sprintf("%016x", fp); req.Fingerprint != want {
+		// A worker resident over a different graph — including the previous
+		// mutation epoch of this one — can never answer this server's
+		// queries; 412 tells it the mismatch is permanent until it reloads
+		// (no rejoin loop over the same graph will fix it).
 		jsonError(w, http.StatusPreconditionFailed,
 			"graph fingerprint mismatch: worker %s, coordinator %s", req.Fingerprint, want)
 		return
 	}
-	gen, err := s.plane.reg.Join(req.ID, req.Addr, s.fp)
+	gen, err := s.plane.reg.Join(req.ID, req.Addr, fp)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return

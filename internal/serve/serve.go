@@ -98,6 +98,11 @@ type Config struct {
 	// processes instead of running in-process, and below Plane.Quorum the
 	// server answers 503 with Retry-After.
 	Plane *PlaneConfig
+	// CompactThreshold folds the mutation overlay's patch set into a fresh
+	// CSR base once it holds this many edges, bounding the per-Snapshot
+	// rebuild overhead of a long mutation history. 0 means 1024; negative
+	// disables compaction.
+	CompactThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,19 +127,60 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 5 * time.Minute
 	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = 1024
+	}
 	return c
+}
+
+// graphState is one epoch's immutable serving snapshot: the CSR graph, its
+// fingerprint, and the plan cache built against it. /update publishes a new
+// graphState atomically, so queries pin one consistent epoch for their whole
+// run while mutations proceed — readers and the mutation path never hold a
+// lock against each other. The plan cache rides inside because a plan's
+// initial-vertex selection is computed against one graph's degree
+// distribution: swapping the state swaps (and thereby invalidates) the cache.
+type graphState struct {
+	g     *graph.Graph
+	fp    uint64
+	plans *planCache
+	epoch uint64
 }
 
 // Server is a resident subgraph-listing query service over one data graph.
 // Create one with New, mount Handler on an http.Server, and Drain on
 // shutdown.
 type Server struct {
-	g     *graph.Graph
 	cfg   Config
-	fp    uint64
-	plans *planCache
 	adm   *admission
 	start time.Time
+
+	// state is the current serving epoch (graph + fingerprint + plan cache);
+	// queries load it once and keep that snapshot for their whole run.
+	state atomic.Pointer[graphState]
+
+	// The mutation plane: overlay and its derived counters. mutMu serializes
+	// /update batches end to end (overlay mutation, delta enumeration,
+	// state publication); the mirrored atomics keep /stats from having to
+	// take it.
+	mutMu          sync.Mutex
+	overlay        *graph.Overlay
+	mutBatches     atomic.Int64
+	mutAdded       atomic.Int64
+	mutRemoved     atomic.Int64
+	mutNoops       atomic.Int64
+	mutPatch       atomic.Int64
+	mutCompactions atomic.Int64
+	mutEdgeFP      atomic.Uint64
+	deltaGained    atomic.Int64
+	deltaLost      atomic.Int64
+	deltaRuns      atomic.Int64
+
+	// Standing-query subscriptions (POST /subscribe), fanned out to by the
+	// update path and closed on Drain.
+	subMu  sync.Mutex
+	subs   map[int64]*subscription
+	subSeq int64
 
 	drainMu  sync.Mutex
 	draining bool
@@ -184,13 +230,18 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		g:     g,
 		cfg:   cfg,
-		fp:    g.Fingerprint(),
-		plans: newPlanCache(stats.FromHistogram(g.DegreeHistogram())),
 		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		start: time.Now(),
+		subs:  make(map[int64]*subscription),
 	}
+	s.state.Store(&graphState{
+		g:     g,
+		fp:    g.Fingerprint(),
+		plans: newPlanCache(stats.FromHistogram(g.DegreeHistogram())),
+	})
+	s.overlay = graph.NewOverlay(g)
+	s.mutEdgeFP.Store(s.overlay.Fingerprint())
 	if cfg.Plane != nil {
 		s.planeObs = obs.New(cfg.TraceSink)
 		s.planeObs.SetTag("plane")
@@ -203,6 +254,8 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/debug/", obs.HandlerProvider(func() *obs.Observer { return s.lastObs.Load() }))
@@ -221,6 +274,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.closeSubscriptions()
 	if s.plane != nil {
 		s.plane.stop()
 	}
@@ -348,6 +402,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Pin this query's serving epoch: graph, fingerprint, and plan cache stay
+	// consistent for the whole run even if an /update lands mid-query.
+	st := s.state.Load()
 	var plan *Plan
 	if !isCensus {
 		p, err := pattern.Parse(params.patternSrc)
@@ -355,7 +412,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			jsonError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		plan = s.plans.get(p)
+		plan = st.plans.get(p)
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), params.deadline)
@@ -390,7 +447,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The census engine is shared-memory: it always runs in-process, even
 		// when this server coordinates a worker plane, and it holds its
 		// admission slot like any other query.
-		s.serveCensus(ctx, w, censusK, params, observer, traceID, time.Now())
+		s.serveCensus(ctx, w, st.g, censusK, params, observer, traceID, time.Now())
 		return
 	}
 
@@ -429,10 +486,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	if params.countOnly {
-		s.serveCount(ctx, w, plan, opts, traceID, start)
+		s.serveCount(ctx, w, st.g, plan, opts, traceID, start)
 		return
 	}
-	s.serveStream(ctx, w, plan, opts, params.limit, traceID, start)
+	s.serveStream(ctx, w, st.g, plan, opts, params.limit, traceID, start)
 }
 
 // countResponse is the count-only fast path's response body.
@@ -445,8 +502,8 @@ type countResponse struct {
 	WallMS    float64 `json:"wall_ms"`
 }
 
-func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, plan *Plan, opts core.Options, traceID string, start time.Time) {
-	res, err := core.RunContext(ctx, s.g, plan.Pattern, opts)
+func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, g *graph.Graph, plan *Plan, opts core.Options, traceID string, start time.Time) {
+	res, err := core.RunContext(ctx, g, plan.Pattern, opts)
 	// Query-level retry: a failed count run re-admits, resuming from its
 	// last barrier checkpoint when one exists (counts stay exact across a
 	// resume — the engine's exactly-once accounting). Deadline expiry is
@@ -457,7 +514,7 @@ func (s *Server) serveCount(ctx context.Context, w http.ResponseWriter, plan *Pl
 			opts.Observer.AddQueryRetry()
 		}
 		opts.ResumeFrom = opts.CheckpointStore
-		res, err = core.RunContext(ctx, s.g, plan.Pattern, opts)
+		res, err = core.RunContext(ctx, g, plan.Pattern, opts)
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -494,7 +551,7 @@ type streamTrailer struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-func (s *Server) serveStream(ctx context.Context, w http.ResponseWriter, plan *Plan, opts core.Options, limit int64, traceID string, start time.Time) {
+func (s *Server) serveStream(ctx context.Context, w http.ResponseWriter, g *graph.Graph, plan *Plan, opts core.Options, limit int64, traceID string, start time.Time) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 
@@ -522,7 +579,7 @@ func (s *Server) serveStream(ctx context.Context, w http.ResponseWriter, plan *P
 		mu.Unlock()
 	}
 
-	res, err := core.RunContext(ctx, s.g, plan.Pattern, opts)
+	res, err := core.RunContext(ctx, g, plan.Pattern, opts)
 	trailer := streamTrailer{
 		Done:      true,
 		TraceID:   traceID,
@@ -572,6 +629,9 @@ type StatsResponse struct {
 		Vertices    int    `json:"vertices"`
 		Edges       int64  `json:"edges"`
 		Fingerprint string `json:"fingerprint"`
+		// Epoch is the mutation epoch of the serving snapshot: the number of
+		// accepted /update batches folded into the graph being served.
+		Epoch uint64 `json:"epoch"`
 	} `json:"graph"`
 	UptimeS float64 `json:"uptime_s"`
 	Plans   struct {
@@ -605,6 +665,10 @@ type StatsResponse struct {
 	// Census reports the motif-census verb's caches: queries served, per-k
 	// result-cache hits, and the canonical-form memo cache hit rate.
 	Census CensusStats `json:"census"`
+	// Mutations reports the dynamic-graph plane: accepted /update batches,
+	// effective edge changes, overlay patch/compaction state, standing-query
+	// subscriptions, and the cumulative delta-enumeration totals.
+	Mutations MutationStats `json:"mutations"`
 	// Plane is present only when the server coordinates a worker plane.
 	Plane    *PlaneStats `json:"worker_plane,omitempty"`
 	Draining bool        `json:"draining"`
@@ -613,11 +677,13 @@ type StatsResponse struct {
 // Stats assembles the /stats document (also used by tests directly).
 func (s *Server) Stats() StatsResponse {
 	var sr StatsResponse
-	sr.Graph.Vertices = s.g.NumVertices()
-	sr.Graph.Edges = s.g.NumEdges()
-	sr.Graph.Fingerprint = fmt.Sprintf("%016x", s.fp)
+	st := s.state.Load()
+	sr.Graph.Vertices = st.g.NumVertices()
+	sr.Graph.Edges = st.g.NumEdges()
+	sr.Graph.Fingerprint = fmt.Sprintf("%016x", st.fp)
+	sr.Graph.Epoch = st.epoch
 	sr.UptimeS = time.Since(s.start).Seconds()
-	sr.Plans.Entries, sr.Plans.Hits, sr.Plans.Misses = s.plans.snapshot()
+	sr.Plans.Entries, sr.Plans.Hits, sr.Plans.Misses = st.plans.snapshot()
 	sr.Admission.MaxInFlight = s.cfg.MaxInFlight
 	sr.Admission.MaxQueue = s.cfg.MaxQueue
 	sr.Admission.InFlight, sr.Admission.Waiting = s.adm.load()
@@ -634,6 +700,7 @@ func (s *Server) Stats() StatsResponse {
 		sr.Compression.Ratio = float64(sr.Compression.RawBytes) / float64(sr.Compression.WireBytes)
 	}
 	sr.Census = s.census.stats()
+	sr.Mutations = s.mutationStats(st.epoch)
 	if s.plane != nil {
 		sr.Plane = s.plane.stats()
 	}

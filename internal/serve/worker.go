@@ -146,7 +146,7 @@ func (w *Worker) join() error {
 	body, _ := json.Marshal(joinRequest{
 		ID:          w.cfg.ID,
 		Addr:        w.Addr(),
-		Fingerprint: fmt.Sprintf("%016x", w.srv.fp),
+		Fingerprint: fmt.Sprintf("%016x", w.srv.state.Load().fp),
 	})
 	var lastErr error
 	for attempt := 0; attempt < w.cfg.JoinAttempts; attempt++ {

@@ -33,6 +33,7 @@ import (
 	"psgl/internal/bsp"
 	"psgl/internal/centralized"
 	"psgl/internal/core"
+	"psgl/internal/delta"
 	"psgl/internal/esu"
 	"psgl/internal/gen"
 	"psgl/internal/graph"
@@ -380,6 +381,41 @@ type (
 // coordinator, and starts heartbeating.
 func StartRemoteWorker(g *Graph, cfg RemoteWorkerConfig) (*RemoteWorker, error) {
 	return serve.StartWorker(g, cfg)
+}
+
+// Dynamic graphs (internal/graph.Overlay + internal/delta): the CSR data
+// graph is immutable, so mutation is layered on top — an Overlay records
+// add/remove batches against a base graph and materializes immutable
+// snapshots, and ListDelta computes exactly the embeddings a batch gained
+// and lost without re-enumerating the whole graph. The same machinery backs
+// the query service's POST /update and POST /subscribe endpoints.
+type (
+	// GraphOverlay is a versioned mutable edge-set overlay on an immutable
+	// base graph: batches apply atomically, every accepted batch advances the
+	// mutation epoch, and an incremental order-independent edge fingerprint
+	// tracks the current edge set.
+	GraphOverlay = graph.Overlay
+	// MutationBatch is one atomic set of edge additions and removals.
+	MutationBatch = graph.Batch
+	// MutationResult reports a batch's effective additions, removals, noops,
+	// and the epoch it produced.
+	MutationResult = graph.BatchResult
+	// DeltaOptions tunes a delta enumeration; the zero value is ready to use.
+	DeltaOptions = delta.Options
+	// DeltaResult carries the gained/lost counts, the optional embedding
+	// lists, and the run statistics of one delta enumeration.
+	DeltaResult = delta.Result
+)
+
+// NewGraphOverlay starts an overlay with base's edge set at epoch 0.
+func NewGraphOverlay(base *Graph) *GraphOverlay { return graph.NewOverlay(base) }
+
+// ListDelta computes exactly the embeddings of p gained and lost between old
+// and new, where new differs from old by the given added and removed edges
+// (the values a GraphOverlay.ApplyBatch result reports). The identity
+// count(old) + gained - lost == count(new) holds for every pattern.
+func ListDelta(ctx context.Context, old, new *Graph, added, removed [][2]VertexID, p *Pattern, opts DeltaOptions) (*DeltaResult, error) {
+	return delta.Enumerate(ctx, old, new, added, removed, p, opts)
 }
 
 // Labeled subgraph matching (the generalization the paper's related-work

@@ -357,3 +357,40 @@ func TestFaultTolerancePublicAPI(t *testing.T) {
 		t.Fatalf("faulty run counted %d, clean run %d", res.Count, clean.Count)
 	}
 }
+
+func TestDynamicGraphPublicAPI(t *testing.T) {
+	// The dynamic-graph surface through the public package: overlay batches,
+	// snapshots, and ListDelta's maintenance identity
+	// count(old) + gained - lost == count(new).
+	g := psgl.GenerateChungLu(300, 1200, 1.8, 9)
+	before, err := psgl.Count(g, psgl.Diamond(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ov := psgl.NewGraphOverlay(g)
+	res, err := ov.ApplyBatch(psgl.MutationBatch{
+		Add:    [][2]psgl.VertexID{{0, 1}, {0, 2}, {1, 2}, {2, 3}},
+		Remove: [][2]psgl.VertexID{{4, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", res.Epoch)
+	}
+	mutated := ov.Snapshot()
+
+	d, err := psgl.ListDelta(context.Background(), g, mutated, res.Added, res.Removed,
+		psgl.Diamond(), psgl.DeltaOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := psgl.Count(mutated, psgl.Diamond(), psgl.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before+d.Gained-d.Lost != after {
+		t.Fatalf("maintenance identity broken: %d + %d - %d != %d", before, d.Gained, d.Lost, after)
+	}
+}
